@@ -1,0 +1,54 @@
+"""Ablation (§7/§8) — detour policy comparison.
+
+The paper evaluates only the parameter-free random policy and sketches
+load-aware / flow-based / probabilistic variants as future work.  This
+bench runs all four on the default incast workload so the design choice is
+quantified: load-aware should match or beat random slightly; flow-based
+trades buffer spreading for fewer reorderings; probabilistic detours early.
+"""
+
+from repro.experiments import PAPER_DEFAULTS, SCALED_DEFAULTS
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_scenario
+
+import common
+
+NAME = "ablation_detour_policies"
+
+POLICIES = ["random", "load-aware", "flow-based", "probabilistic"]
+
+
+def run(full: bool = False) -> str:
+    base = (PAPER_DEFAULTS if full else SCALED_DEFAULTS).with_overrides(
+        scheme="dibs", duration_s=1.0 if full else 0.2, name="policies",
+    )
+    rows = []
+    for policy in POLICIES:
+        result = run_scenario(base.with_overrides(detour_policy=policy,
+                                                  name=f"policies:{policy}"))
+        qct = result.qct_p99_ms
+        fct = result.bg_fct_p99_ms
+        rows.append(
+            {
+                "policy": policy,
+                "qct_p99_ms": f"{qct:.2f}" if qct is not None else "-",
+                "bg_fct_p99_ms": f"{fct:.2f}" if fct is not None else "-",
+                "detours": result.detours,
+                "drops": result.total_drops,
+                "timeouts": result.timeouts,
+            }
+        )
+    title = (
+        "Ablation: DIBS detour policies (§7) on the default incast workload.\n"
+        "The paper ships 'random' for its zero parameters; this quantifies\n"
+        "what the alternatives buy."
+    )
+    return format_table(rows, title=title)
+
+
+def test_ablation_policies(benchmark):
+    common.bench_entry(benchmark, NAME, lambda: run(False))
+
+
+if __name__ == "__main__":
+    common.cli_main(NAME, run)

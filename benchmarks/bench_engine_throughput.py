@@ -1,0 +1,51 @@
+"""Substrate microbenchmark — simulator event throughput.
+
+Not a paper figure: measures the discrete-event engine and the full
+packet pipeline (host -> 3 switch hops -> host with DCTCP) in events/sec,
+so regressions in the substrate are visible in benchmark history.
+"""
+
+from repro.core.config import DibsConfig
+from repro.net.network import Network, SwitchQueueConfig
+from repro.sim.engine import Scheduler
+from repro.topo import fat_tree
+
+
+def test_raw_scheduler_throughput(benchmark):
+    """Schedule/fire 50k no-op events."""
+
+    def run():
+        sched = Scheduler()
+        for i in range(50_000):
+            sched.schedule(i * 1e-6, _noop)
+        sched.run()
+        return sched.events_processed
+
+    events = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert events == 50_000
+
+
+def _noop():
+    pass
+
+
+def test_packet_pipeline_throughput(benchmark):
+    """End-to-end flows across the fat-tree under DIBS."""
+
+    def run():
+        net = Network(
+            fat_tree(k=4),
+            switch_queues=SwitchQueueConfig(buffer_pkts=30, ecn_threshold_pkts=8),
+            dibs=DibsConfig(),
+            seed=1,
+        )
+        flows = [
+            net.start_flow(f"host_{i}", "host_0", 30_000, transport="dibs", kind="query")
+            for i in range(1, 13)
+        ]
+        net.run(until=2.0)
+        assert all(f.completed for f in flows)
+        return net.scheduler.events_processed
+
+    events = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert events > 5_000

@@ -1,0 +1,37 @@
+"""Figure 10 — variable query response size.
+
+Sweeps the per-responder response size from 20 KB to 50 KB.  Paper shape:
+DIBS improves 99th-pct QCT at all sizes but the improvement shrinks with
+size (21 ms at 20 KB down to 6 ms at 50 KB) as spurious timeouts creep in;
+background FCT impact grows slightly (1.2 ms -> 4.4 ms).
+"""
+
+from repro.experiments import PAPER_DEFAULTS, SCALED_DEFAULTS
+from repro.experiments.report import format_sweep
+from repro.experiments.sweep import sweep
+
+import common
+
+NAME = "fig10_response_size"
+
+
+def run(full: bool = False) -> str:
+    base = (PAPER_DEFAULTS if full else SCALED_DEFAULTS).with_overrides(
+        duration_s=1.0 if full else 0.2, bg_interarrival_s=0.120, name="fig10",
+    )
+    values = [20_000, 30_000, 40_000, 50_000]
+    results = sweep(base, "response_bytes", values, schemes=("dctcp", "dibs"), seeds=(0, 1, 2))
+    title = (
+        "Figure 10: QCT / background FCT vs query response size (bytes).\n"
+        "Paper shape: DIBS improvement in qct_p99 shrinks as responses\n"
+        "grow; collateral bg_fct_p99 increase stays small but grows with size."
+    )
+    return format_sweep(results, "response_bytes", title=title)
+
+
+def test_fig10_response_size(benchmark):
+    common.bench_entry(benchmark, NAME, lambda: run(False))
+
+
+if __name__ == "__main__":
+    common.cli_main(NAME, run)

@@ -1,0 +1,37 @@
+"""Figure 13 — limiting detours via the packet TTL.
+
+Sweeps the initial TTL from 12 to 255 (the network diameter is 6, so TTL
+12 permits only ~3 backward detours).  Paper shape: DCTCP is insensitive
+to TTL; DIBS improves as TTL grows (low TTL forces drops of detoured
+packets), and TTL barely moves background FCT.
+"""
+
+from repro.experiments import PAPER_DEFAULTS, SCALED_DEFAULTS
+from repro.experiments.report import format_sweep
+from repro.experiments.sweep import sweep
+
+import common
+
+NAME = "fig13_ttl"
+
+
+def run(full: bool = False) -> str:
+    base = (PAPER_DEFAULTS if full else SCALED_DEFAULTS).with_overrides(
+        duration_s=1.0 if full else 0.2, bg_interarrival_s=0.010, name="fig13",
+    )
+    values = [12, 24, 36, 48, 255]
+    results = sweep(base, "ttl", values, schemes=("dctcp", "dibs"))
+    title = (
+        "Figure 13: QCT / background FCT vs max TTL.\n"
+        "Paper shape: TTL has no effect on DCTCP; DIBS qct_p99 improves\n"
+        "with higher TTL as fewer detoured packets expire."
+    )
+    return format_sweep(results, "ttl", title=title)
+
+
+def test_fig13_ttl(benchmark):
+    common.bench_entry(benchmark, NAME, lambda: run(False))
+
+
+if __name__ == "__main__":
+    common.cli_main(NAME, run)

@@ -1,0 +1,82 @@
+"""Figure 16 — DIBS (DCTCP+DIBS) vs pFabric across query arrival rates.
+
+pFabric runs 24-packet priority queues and minimal-TCP hosts (350 us fixed
+RTO at 1 Gbps).  Paper shape: (a) pFabric's strict shortest-remaining-first
+scheduling starves long *background* flows as query load grows — its
+99th-pct background FCT blows up while DIBS's stays flat; (b) on query
+traffic the two are comparable, with DIBS slightly ahead at the highest
+rates where pFabric drops and retransmits heavily.
+"""
+
+from repro.experiments import PAPER_DEFAULTS, SCALED_DEFAULTS
+from repro.experiments.report import format_sweep
+from repro.experiments.sweep import sweep
+
+import common
+
+NAME = "fig16_pfabric"
+
+
+def run(full: bool = False) -> str:
+    base = (PAPER_DEFAULTS if full else SCALED_DEFAULTS).with_overrides(
+        duration_s=1.0 if full else 0.2, bg_interarrival_s=0.120, name="fig16",
+    )
+    values = [300, 500, 1000, 1500, 2000] if full else [40, 65, 125, 190, 250]
+    results = sweep(base, "qps", values, schemes=("pfabric", "dibs"), seeds=(0, 1, 2))
+    title = (
+        "Figure 16(a,b): DIBS vs pFabric across query arrival rate.\n"
+        "Paper shape: pFabric's large-background-flow FCT grows sharply with\n"
+        "load (strict shortest-remaining-first starves long flows); DIBS's\n"
+        "stays low.  Query QCT comparable between the two."
+    )
+    # Fig. 16(a) is about *long* background flows — the ones pFabric's
+    # priority order starves — so report the >=100KB background tail.
+    table = format_sweep(
+        results, "qps", title=title,
+        metrics=("qct_p99_ms", "bg_fct_large_p99_ms"),
+    )
+    table += "\n\n" + _deep_incast_table(base, full)
+    return table
+
+
+def _deep_incast_table(base, full: bool) -> str:
+    """The regime where the paper sees DIBS edge out pFabric on QCT:
+    bursts much deeper than pFabric's 24-packet queues put pFabric into
+    its excessive-retransmission mode (§5.8)."""
+    from repro.experiments.report import format_table
+    from repro.experiments.runner import run_scenario
+
+    deep = base.with_overrides(
+        incast_degree=100 if full else 15,
+        response_bytes=20_000 if full else 40_000,
+        qps=2000 if full else 125,
+        duration_s=0.5 if full else 0.15,
+        name="fig16-deep",
+    )
+    rows = []
+    for scheme in ("pfabric", "dibs"):
+        result = run_scenario(deep.with_overrides(scheme=scheme))
+        qct = result.qct_p99_ms
+        rows.append(
+            {
+                "scheme": scheme,
+                "qct_p99_ms": f"{qct:.1f}" if qct is not None else "-",
+                "drops": result.total_drops,
+                "retransmits": result.retransmits,
+            }
+        )
+    return format_table(
+        rows,
+        title=(
+            "Fig. 16 deep-incast point (burst >> 24-pkt pFabric queues):\n"
+            "pFabric over-drops and retransmits excessively; DIBS detours."
+        ),
+    )
+
+
+def test_fig16_pfabric(benchmark):
+    common.bench_entry(benchmark, NAME, lambda: run(False))
+
+
+if __name__ == "__main__":
+    common.cli_main(NAME, run)

@@ -1,0 +1,55 @@
+"""Shared plumbing for the figure benchmarks.
+
+Every ``bench_*.py`` regenerates one paper artifact.  Conventions:
+
+* each file exposes ``run(full: bool) -> str`` returning the formatted
+  table(s) for that figure — ``full=False`` (default) uses the scaled
+  parameters documented in DESIGN.md §7, ``full=True`` uses the paper's
+  Table 1/2 values (hours of CPython time; for completeness),
+* the pytest-benchmark entry point wraps ``run(False)`` so ``pytest
+  benchmarks/ --benchmark-only`` both times the experiment and persists the
+  tables under ``benchmarks/results/``,
+* ``python benchmarks/bench_figNN_*.py [--full]`` prints the same tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+# Scaled counterparts of the paper's three workload intensities (Fig. 4/14):
+# 300 / 2000 / 10000 qps over 128 hosts ~= 40 / 250 / 1250 qps over 16.
+SCALED_BASELINE_QPS = 40.0
+SCALED_HEAVY_QPS = 250.0
+SCALED_EXTREME_QPS = 1250.0
+
+
+def save_table(name: str, text: str) -> Path:
+    """Persist a rendered table under benchmarks/results/ and return the path."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+def bench_entry(benchmark, name: str, run_fn) -> None:
+    """Standard pytest-benchmark wrapper: one timed round, table persisted."""
+    text = benchmark.pedantic(run_fn, rounds=1, iterations=1)
+    save_table(name, text)
+    print()
+    print(text)
+
+
+def cli_main(name: str, run_fn) -> None:
+    """Standard ``python bench_x.py [--full]`` entry point."""
+    parser = argparse.ArgumentParser(description=f"Regenerate {name}")
+    parser.add_argument("--full", action="store_true",
+                        help="use the paper's full-scale parameters (slow)")
+    args = parser.parse_args()
+    text = run_fn(full=args.full)
+    save_table(name + ("-full" if args.full else ""), text)
+    print(text)
+    sys.stdout.flush()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+This environment (and some air-gapped deployments) lacks the ``wheel``
+package, so PEP 517 editable installs cannot build; with this shim,
+``pip install -e . --no-build-isolation --no-use-pep517`` takes the legacy
+setuptools path, which needs no wheel.  ``pip install -e .`` works normally
+wherever ``wheel`` is available.
+"""
+
+from setuptools import setup
+
+setup()

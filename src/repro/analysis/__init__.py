@@ -1,0 +1,14 @@
+"""Post-run analysis: comparisons and terminal charts."""
+
+from repro.analysis.asciiplot import bar_chart, cdf_plot, line_plot, sparkline
+from repro.analysis.compare import Comparison, compare, improvement_pct
+
+__all__ = [
+    "bar_chart",
+    "cdf_plot",
+    "line_plot",
+    "sparkline",
+    "Comparison",
+    "compare",
+    "improvement_pct",
+]

@@ -1,0 +1,104 @@
+"""ASCII charts for terminal-only environments.
+
+The paper's figures are line plots and CDFs; with no plotting stack
+available offline, these helpers render both as fixed-width text.  Used by
+the examples and handy in notebooks/CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+__all__ = ["bar_chart", "line_plot", "cdf_plot", "sparkline"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line mini chart: ``sparkline([0, 5, 10])`` -> ``▁▄█``."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return _SPARK_LEVELS[0] * len(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)
+
+
+def bar_chart(
+    data: Mapping[str, float],
+    width: int = 50,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with labels and values."""
+    if not data:
+        return f"{title}\n(no data)" if title else "(no data)"
+    label_width = max(len(str(k)) for k in data)
+    peak = max(data.values())
+    lines = [title] if title else []
+    for label, value in data.items():
+        bar = "#" * (int(value / peak * width) if peak > 0 else 0)
+        lines.append(f"{str(label):<{label_width}} |{bar:<{width}}| {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def line_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 15,
+    title: Optional[str] = None,
+) -> str:
+    """Multi-series scatter/line plot on a character canvas.
+
+    Each series gets a distinct glyph; points are (x, y) pairs.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return f"{title}\n(no data)" if title else "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    glyphs = "*o+x@%&"
+    legend = []
+    for idx, (name, pts) in enumerate(series.items()):
+        glyph = glyphs[idx % len(glyphs)]
+        legend.append(f"{glyph} {name}")
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            canvas[row][col] = glyph
+
+    lines = [title] if title else []
+    lines.append(f"y: {y_lo:.3g} .. {y_hi:.3g}")
+    for row in canvas:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(f"x: {x_lo:.3g} .. {x_hi:.3g}    {'   '.join(legend)}")
+    return "\n".join(lines)
+
+
+def cdf_plot(
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 15,
+    title: Optional[str] = None,
+) -> str:
+    """Render empirical CDFs of one or more sample sets."""
+    cdf_series = {}
+    for name, samples in series.items():
+        data = sorted(samples)
+        n = len(data)
+        if n == 0:
+            continue
+        cdf_series[name] = [(v, (i + 1) / n) for i, v in enumerate(data)]
+    return line_plot(cdf_series, width=width, height=height, title=title)

@@ -1,0 +1,66 @@
+"""Cross-run comparison helpers.
+
+The paper's claims are *relative* ("reduces 99th percentile QCT by up to
+85%", "very little impact on other traffic"); these helpers compute those
+relative statements from pairs of :class:`ExperimentResult`, so benches and
+EXPERIMENTS.md can report them mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.runner import ExperimentResult
+
+__all__ = ["Comparison", "compare", "improvement_pct"]
+
+
+def improvement_pct(baseline: Optional[float], treated: Optional[float]) -> Optional[float]:
+    """Percentage reduction from baseline to treated (positive = better)."""
+    if baseline is None or treated is None or baseline == 0:
+        return None
+    return (baseline - treated) / baseline * 100.0
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """DIBS-vs-baseline deltas for one operating point."""
+
+    baseline_scheme: str
+    treated_scheme: str
+    qct_p99_improvement_pct: Optional[float]
+    bg_fct_p99_delta_ms: Optional[float]
+    drops_baseline: int
+    drops_treated: int
+    detours_treated: int
+
+    def headline(self) -> str:
+        """The paper-style one-liner."""
+        parts = []
+        if self.qct_p99_improvement_pct is not None:
+            parts.append(
+                f"{self.treated_scheme} changes 99th-pct QCT by "
+                f"{self.qct_p99_improvement_pct:+.0f}% vs {self.baseline_scheme}"
+            )
+        if self.bg_fct_p99_delta_ms is not None:
+            parts.append(f"background FCT p99 moves {self.bg_fct_p99_delta_ms:+.2f} ms")
+        parts.append(f"drops {self.drops_baseline} -> {self.drops_treated}")
+        return "; ".join(parts)
+
+
+def compare(baseline: "ExperimentResult", treated: "ExperimentResult") -> Comparison:
+    """Compute the relative story between two runs of the same workload."""
+    delta_fct = None
+    if baseline.bg_fct_p99_ms is not None and treated.bg_fct_p99_ms is not None:
+        delta_fct = treated.bg_fct_p99_ms - baseline.bg_fct_p99_ms
+    return Comparison(
+        baseline_scheme=baseline.scenario.scheme,
+        treated_scheme=treated.scenario.scheme,
+        qct_p99_improvement_pct=improvement_pct(baseline.qct_p99_ms, treated.qct_p99_ms),
+        bg_fct_p99_delta_ms=delta_fct,
+        drops_baseline=baseline.total_drops,
+        drops_treated=treated.total_drops,
+        detours_treated=treated.detours,
+    )

@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``      one scenario (any scheme), print the headline metrics
+``sweep``    sweep one Scenario parameter across values and schemes
+``schemes``  list available schemes and the Table 1/2 defaults
+``topo``     describe a topology (sizes, degrees, diameter)
+
+Examples::
+
+    python -m repro run --scheme dibs --qps 125 --seeds 0,1,2
+    python -m repro sweep --param buffer_pkts --values 5,10,25,50 \
+        --schemes dctcp,dibs
+    python -m repro topo --topology fattree --k 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.report import format_sweep, format_table
+from repro.experiments.runner import run_pooled
+from repro.experiments.scenarios import PAPER_DEFAULTS, SCALED_DEFAULTS, SCHEMES, Scenario
+from repro.experiments.sweep import sweep as run_sweep
+
+__all__ = ["main", "build_parser"]
+
+_NUMERIC_FIELDS = {
+    "k": int,
+    "buffer_pkts": int,
+    "ecn_threshold_pkts": int,
+    "ttl": int,
+    "incast_degree": int,
+    "response_bytes": int,
+    "qps": float,
+    "bg_interarrival_s": float,
+    "duration_s": float,
+    "drain_s": float,
+    "oversubscription": float,
+    "seed": int,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DIBS (EuroSys 2014) reproduction: run simulated data center experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one scenario")
+    _add_scenario_args(run_p)
+    run_p.add_argument("--seeds", default="0", help="comma-separated seeds to pool (default: 0)")
+
+    sweep_p = sub.add_parser("sweep", help="sweep a scenario parameter")
+    _add_scenario_args(sweep_p)
+    sweep_p.add_argument("--param", required=True, help="Scenario field to sweep")
+    sweep_p.add_argument("--values", required=True, help="comma-separated values")
+    sweep_p.add_argument("--schemes", default="dctcp,dibs", help="comma-separated schemes")
+    sweep_p.add_argument("--seeds", default="0", help="comma-separated seeds to pool")
+
+    sub.add_parser("schemes", help="list schemes and defaults")
+
+    topo_p = sub.add_parser("topo", help="describe a topology")
+    topo_p.add_argument("--topology", default="fattree",
+                        choices=["fattree", "testbed", "leafspine", "linear", "jellyfish"])
+    topo_p.add_argument("--k", type=int, default=4)
+    topo_p.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scheme", default="dibs", choices=SCHEMES)
+    parser.add_argument("--paper-defaults", action="store_true",
+                        help="start from the paper's K=8 Table 1/2 point instead of the scaled one")
+    for field, cast in _NUMERIC_FIELDS.items():
+        flag = "--" + field.replace("_", "-")
+        parser.add_argument(flag, type=cast, default=None, dest=field)
+    parser.add_argument("--no-background", action="store_true", help="disable background traffic")
+    parser.add_argument("--no-query", action="store_true", help="disable query traffic")
+    parser.add_argument("--detour-policy", default=None,
+                        choices=["random", "load-aware", "flow-based", "probabilistic"])
+
+
+def _scenario_from_args(args: argparse.Namespace) -> Scenario:
+    base = PAPER_DEFAULTS if args.paper_defaults else SCALED_DEFAULTS
+    overrides = {"scheme": args.scheme, "name": "cli"}
+    for field in _NUMERIC_FIELDS:
+        value = getattr(args, field, None)
+        if value is not None:
+            overrides[field] = value
+    if args.no_background:
+        overrides["bg_enabled"] = False
+    if args.no_query:
+        overrides["query_enabled"] = False
+    if args.detour_policy is not None:
+        overrides["detour_policy"] = args.detour_policy
+    return base.with_overrides(**overrides)
+
+
+def _parse_seeds(text: str) -> tuple[int, ...]:
+    return tuple(int(s) for s in text.split(",") if s.strip())
+
+
+def _parse_values(text: str):
+    values = []
+    for raw in text.split(","):
+        raw = raw.strip()
+        if not raw:
+            continue
+        number = float(raw)
+        values.append(int(number) if number == int(number) else number)
+    return values
+
+
+def _cmd_run(args: argparse.Namespace) -> str:
+    scenario = _scenario_from_args(args)
+    result = run_pooled(scenario, seeds=_parse_seeds(args.seeds))
+    rows = [result.row()]
+    rows[0]["flows"] = f"{result.flows_completed}/{result.flows_total}"
+    rows[0]["events"] = result.events
+    rows[0]["wall_s"] = f"{result.wall_seconds:.1f}"
+    return format_table(rows, title=f"scheme={scenario.scheme} (seeds={args.seeds})")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> str:
+    scenario = _scenario_from_args(args)
+    results = run_sweep(
+        scenario,
+        args.param,
+        _parse_values(args.values),
+        schemes=tuple(s.strip() for s in args.schemes.split(",")),
+        seeds=_parse_seeds(args.seeds),
+    )
+    return format_sweep(results, args.param, title=f"sweep over {args.param}")
+
+
+def _cmd_schemes() -> str:
+    rows = [{"scheme": s} for s in SCHEMES]
+    defaults = [
+        {"parameter": k, "paper": getattr(PAPER_DEFAULTS, k), "scaled": getattr(SCALED_DEFAULTS, k)}
+        for k in ("k", "buffer_pkts", "ecn_threshold_pkts", "qps", "incast_degree",
+                  "response_bytes", "bg_interarrival_s", "duration_s")
+    ]
+    return format_table(rows, title="schemes") + "\n\n" + format_table(defaults, title="defaults")
+
+
+def _cmd_topo(args: argparse.Namespace) -> str:
+    scenario = SCALED_DEFAULTS.with_overrides(topology=args.topology, k=args.k, seed=args.seed)
+    topo = scenario.build_topology()
+    rows = [{
+        "name": topo.name,
+        "hosts": len(topo.hosts),
+        "switches": len(topo.switches),
+        "links": len(topo.links),
+        "diameter": topo.diameter(),
+    }]
+    return format_table(rows, title="topology")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        print(_cmd_run(args))
+    elif args.command == "sweep":
+        print(_cmd_sweep(args))
+    elif args.command == "schemes":
+        print(_cmd_schemes())
+    elif args.command == "topo":
+        print(_cmd_topo(args))
+    else:  # pragma: no cover - argparse enforces choices
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

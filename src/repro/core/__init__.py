@@ -1,0 +1,21 @@
+"""DIBS core: detour policies and switch-side configuration."""
+
+from repro.core.config import DibsConfig
+from repro.core.detour import (
+    DetourPolicy,
+    FlowBasedDetourPolicy,
+    LoadAwareDetourPolicy,
+    ProbabilisticDetourPolicy,
+    RandomDetourPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "DibsConfig",
+    "DetourPolicy",
+    "RandomDetourPolicy",
+    "LoadAwareDetourPolicy",
+    "FlowBasedDetourPolicy",
+    "ProbabilisticDetourPolicy",
+    "make_policy",
+]

@@ -1,0 +1,42 @@
+"""DIBS switch-side configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.detour import DetourPolicy, RandomDetourPolicy
+
+__all__ = ["DibsConfig"]
+
+
+@dataclass
+class DibsConfig:
+    """Enables and parameterises DIBS on a switch.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch.  With ``enabled=False`` the switch behaves exactly
+        like a stock droptail/ECN switch — DIBS "has no impact whatsoever
+        when things are normal" (§2) degenerates to no impact ever.
+    policy:
+        The detour policy (default: the paper's parameter-free random
+        policy).
+    allow_detour_to_ingress:
+        Whether the port the packet arrived on is an eligible detour port.
+        The paper permits this ("the detoured packets could return to the
+        original switch", §2); disabling it is an ablation.
+    max_detours_per_packet:
+        Optional cap on per-packet detours, independent of TTL.  ``0``
+        means unlimited (the paper's configuration; TTL is the only bound).
+    """
+
+    enabled: bool = True
+    policy: DetourPolicy = field(default_factory=RandomDetourPolicy)
+    allow_detour_to_ingress: bool = True
+    max_detours_per_packet: int = 0
+
+    @classmethod
+    def disabled(cls) -> "DibsConfig":
+        """Convenience constructor for the no-DIBS baseline."""
+        return cls(enabled=False)

@@ -1,0 +1,26 @@
+"""Experiment harness: scenarios, runner, sweeps, reports."""
+
+from repro.experiments.registry import ARTIFACTS, Artifact
+from repro.experiments.report import format_cdf, format_sweep, format_table
+from repro.experiments.runner import ExperimentResult, run_pooled, run_scenario
+from repro.experiments.scenarios import PAPER_DEFAULTS, SCALED_DEFAULTS, SCHEMES, Scenario
+from repro.experiments.sweep import PAPER_RANGES, SCALED_RANGES, compare_schemes, sweep
+
+__all__ = [
+    "Scenario",
+    "SCHEMES",
+    "PAPER_DEFAULTS",
+    "SCALED_DEFAULTS",
+    "ExperimentResult",
+    "run_scenario",
+    "run_pooled",
+    "ARTIFACTS",
+    "Artifact",
+    "sweep",
+    "compare_schemes",
+    "PAPER_RANGES",
+    "SCALED_RANGES",
+    "format_table",
+    "format_sweep",
+    "format_cdf",
+]

@@ -1,0 +1,91 @@
+"""Paper-artifact registry: every figure/section -> its bench.
+
+Keeps the DESIGN.md experiment index machine-checkable: each entry names
+the paper artifact, the bench module that regenerates it, and the library
+modules that implement the pieces.  A test asserts that every bench file
+exists, is importable, and exposes the standard ``run(full: bool) -> str``
+entry point — so the index can't rot silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["Artifact", "ARTIFACTS", "benchmarks_dir"]
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One paper figure/table/section mapped to its regenerator."""
+
+    artifact: str  # e.g. "Figure 7"
+    claim: str  # one-line statement of what must reproduce
+    bench: str  # module name under benchmarks/ (no .py)
+    modules: tuple[str, ...]  # repro.* modules implementing the pieces
+
+
+ARTIFACTS: tuple[Artifact, ...] = (
+    Artifact("Figure 1", "a detoured packet bounces near the hotspot until buffer frees",
+             "", ("repro.metrics.trace",)),  # examples/packet_walk.py
+    Artifact("Figure 2", "detour timeline concentrates in the receiver pod; bursts absorbed in ms",
+             "", ("repro.metrics.trace",)),  # examples/incast_anatomy.py
+    Artifact("Figures 3+4", "hot links are sparse at every workload intensity",
+             "bench_fig04_hotlinks", ("repro.metrics.hotlinks",)),
+    Artifact("Figure 5", "1-2 hop neighborhoods of hot links keep ~80% buffers free",
+             "bench_fig05_neighbor_buffers", ("repro.metrics.hotlinks",)),
+    Artifact("Figure 6", "testbed incast: DIBS ~= infinite buffer, droptail ~2x slower",
+             "bench_fig06_click_incast", ("repro.topo.testbed",)),
+    Artifact("Figure 7", "DIBS insensitive to buffer size; DCTCP blows up when shallow",
+             "bench_fig07_buffer_sweep", ("repro.experiments.runner",)),
+    Artifact("Figure 8", "QCT win at every background intensity, ~no collateral damage",
+             "bench_fig08_background", ("repro.workload.background",)),
+    Artifact("Figure 9", "QCT win at every query rate; helps background at high rate",
+             "bench_fig09_qps", ("repro.workload.query",)),
+    Artifact("Figure 10", "QCT win across response sizes",
+             "bench_fig10_response_size", ("repro.workload.query",)),
+    Artifact("Figure 11", "QCT win grows with incast degree",
+             "bench_fig11_incast_degree", ("repro.workload.query",)),
+    Artifact("Figure 12", "no collateral damage at any buffer size under heavy background",
+             "bench_fig12_buffer_size", ("repro.experiments.sweep",)),
+    Artifact("Figure 13", "TTL binds only with DIBS; DCTCP indifferent",
+             "bench_fig13_ttl", ("repro.net.switch",)),
+    Artifact("Figure 14", "extreme qps breaks DIBS: advantage collapses, drops return",
+             "bench_fig14_extreme_qps", ("repro.experiments.runner",)),
+    Artifact("Figure 15", "large responses at heavy qps do NOT break DIBS",
+             "bench_fig15_large_response", ("repro.experiments.runner",)),
+    Artifact("Figure 16", "pFabric pressures long background flows; DIBS does not",
+             "bench_fig16_pfabric", ("repro.transport.pfabric",)),
+    Artifact("Table 1", "default DC settings", "", ("repro.experiments.scenarios",)),
+    Artifact("Table 2", "sweep ranges", "", ("repro.experiments.sweep",)),
+    Artifact("S5.1", "detour decision costs ~a forwarding step",
+             "bench_detour_decision", ("repro.core.detour",)),
+    Artifact("S5.5.2", "DBA absorbs moderate incast; DIBS still needed past the pool",
+             "bench_dba_shared_buffer", ("repro.net.queues",)),
+    Artifact("S5.5.4", "QCT win persists under oversubscription",
+             "bench_oversubscription", ("repro.topo.fattree",)),
+    Artifact("S5.6", "DIBS adds no unfairness to long-lived flows",
+             "bench_fairness", ("repro.workload.longlived", "repro.metrics.stats")),
+    Artifact("S4 (CIOQ)", "DIBS works unchanged on CIOQ switches",
+             "bench_ablation_cioq", ("repro.net.cioq",)),
+    Artifact("S4 (dup-ACK)", "no-fast-rtx ~= dupack-10 >> dupack-3 under DIBS",
+             "bench_ablation_dupack", ("repro.transport.tcp",)),
+    Artifact("S6 (PFC)", "PFC is near-lossless but back-pressures innocents; DIBS doesn't",
+             "bench_pfc_comparison", ("repro.net.pfc",)),
+    Artifact("S6 (spray)", "packet-level ECMP cannot fix last-hop incast",
+             "bench_ablation_spray", ("repro.net.switch",)),
+    Artifact("S7 (policies)", "random ~= smarter detour policies",
+             "bench_ablation_policies", ("repro.core.detour",)),
+    Artifact("S7 (topologies)", "detouring works across fabrics, richer neighbors help",
+             "bench_topologies", ("repro.topo",)),
+    Artifact("S7 (admission)", "host admission control rescues the overload regime",
+             "bench_admission_control", ("repro.workload.admission",)),
+    Artifact("host stack", "SACK/delack variants vs the paper's no-fast-rtx choice",
+             "bench_ablation_host_stack", ("repro.transport.tcp",)),
+)
+
+
+def benchmarks_dir() -> Path:
+    """Repo-relative benchmarks directory (resolved from this file:
+    src/repro/experiments/registry.py -> repo root / benchmarks)."""
+    return Path(__file__).resolve().parents[3] / "benchmarks"

@@ -1,0 +1,72 @@
+"""Plain-text rendering of experiment results as paper-style tables."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["format_table", "format_sweep", "format_cdf"]
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: Optional[str] = None) -> str:
+    """Render dict-rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no data)" if title else "(no data)"
+    columns = list(rows[0].keys())
+    widths = {c: max(len(str(c)), max(len(str(r.get(c, ""))) for r in rows)) for c in columns}
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(str(row.get(c, "")).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def format_sweep(
+    results: Mapping[tuple[object, str], ExperimentResult],
+    parameter: str,
+    title: Optional[str] = None,
+    metrics: Sequence[str] = ("qct_p99_ms", "bg_fct_p99_ms"),
+) -> str:
+    """Render a sweep as one row per parameter value, one column per
+    (scheme, metric) pair — the textual form of a paper figure."""
+    values = sorted({value for value, _ in results}, key=_sort_key)
+    schemes = sorted({scheme for _, scheme in results})
+    rows = []
+    for value in values:
+        row: dict[str, object] = {parameter: value}
+        for scheme in schemes:
+            result = results.get((value, scheme))
+            for metric in metrics:
+                label = f"{scheme}:{metric}"
+                if result is None:
+                    row[label] = "-"
+                    continue
+                cell = getattr(result, metric)
+                row[label] = f"{cell:.2f}" if isinstance(cell, float) else (cell if cell is not None else "-")
+        rows.append(row)
+    return format_table(rows, title=title)
+
+
+def format_cdf(points: Sequence[tuple[float, float]], title: Optional[str] = None, samples: int = 10) -> str:
+    """Render a CDF as a small table of (fraction, value) quantiles."""
+    if not points:
+        return f"{title}\n(no data)" if title else "(no data)"
+    rows = []
+    n = len(points)
+    for i in range(samples):
+        frac = (i + 1) / samples
+        idx = min(n - 1, max(0, round(frac * n) - 1))
+        rows.append({"fraction": f"{frac:.2f}", "value": f"{points[idx][0]:.6g}"})
+    return format_table(rows, title=title)
+
+
+def _sort_key(value):
+    try:
+        return (0, float(value))
+    except (TypeError, ValueError):
+        return (1, str(value))

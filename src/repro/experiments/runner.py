@@ -1,0 +1,182 @@
+"""Run scenarios and collect the paper's metrics."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.experiments.scenarios import Scenario
+from repro.metrics.stats import percentile
+from repro.workload.background import BackgroundTraffic
+from repro.workload.distributions import web_search_background
+from repro.workload.query import QueryTraffic
+
+__all__ = ["ExperimentResult", "run_scenario", "run_pooled"]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything the benches report for one scenario run."""
+
+    scenario: Scenario
+    qct_values: list[float] = field(default_factory=list)
+    bg_fct_short_values: list[float] = field(default_factory=list)
+    bg_fct_large_values: list[float] = field(default_factory=list)
+    bg_large_total: int = 0
+    bg_large_completed: int = 0
+    queries_started: int = 0
+    queries_completed: int = 0
+    bg_flows_started: int = 0
+    flows_completed: int = 0
+    flows_total: int = 0
+    drops: dict[str, int] = field(default_factory=dict)
+    detours: int = 0
+    ecn_marks: int = 0
+    timeouts: int = 0
+    retransmits: int = 0
+    events: int = 0
+    wall_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def qct_p99_ms(self) -> Optional[float]:
+        if not self.qct_values:
+            return None
+        return percentile(self.qct_values, 99) * 1e3
+
+    @property
+    def qct_p50_ms(self) -> Optional[float]:
+        if not self.qct_values:
+            return None
+        return percentile(self.qct_values, 50) * 1e3
+
+    @property
+    def bg_fct_p99_ms(self) -> Optional[float]:
+        if not self.bg_fct_short_values:
+            return None
+        return percentile(self.bg_fct_short_values, 99) * 1e3
+
+    @property
+    def bg_fct_large_p99_ms(self) -> Optional[float]:
+        """99th-pct FCT of large (>=100 KB) background flows — the metric
+        pFabric's strict priority scheduling hurts (Fig. 16a)."""
+        if not self.bg_fct_large_values:
+            return None
+        return percentile(self.bg_fct_large_values, 99) * 1e3
+
+    @property
+    def total_drops(self) -> int:
+        return sum(self.drops.values())
+
+    def row(self) -> dict[str, object]:
+        """Flat summary row for report tables."""
+
+        def fmt(value: Optional[float]) -> str:
+            return f"{value:.2f}" if value is not None else "-"
+
+        return {
+            "scenario": self.scenario.name,
+            "scheme": self.scenario.scheme,
+            "qct_p99_ms": fmt(self.qct_p99_ms),
+            "bg_fct_p99_ms": fmt(self.bg_fct_p99_ms),
+            "queries": f"{self.queries_completed}/{self.queries_started}",
+            "drops": self.total_drops,
+            "detours": self.detours,
+            "timeouts": self.timeouts,
+        }
+
+
+def run_scenario(scenario: Scenario, trace_paths: bool = False) -> ExperimentResult:
+    """Build the network, attach workloads, run to drain, return metrics.
+
+    Workload arrivals stop at ``scenario.duration_s``; the simulator then
+    keeps running for up to ``scenario.drain_s`` more simulated seconds so
+    in-flight queries can finish (the paper reports completion times of
+    *completed* queries; we additionally report how many never finished).
+    """
+    started = time.perf_counter()
+    network = scenario.build_network(trace_paths=trace_paths)
+    transport = scenario.transport_config()
+
+    background = None
+    if scenario.bg_enabled:
+        background = BackgroundTraffic(
+            network,
+            interarrival_s=scenario.bg_interarrival_s,
+            size_dist=web_search_background(),
+            transport=transport,
+            stop_at=scenario.duration_s,
+        )
+        background.start()
+    query = None
+    if scenario.query_enabled:
+        query = QueryTraffic(
+            network,
+            qps=scenario.qps,
+            degree=scenario.incast_degree,
+            response_bytes=scenario.response_bytes,
+            transport=transport,
+            stop_at=scenario.duration_s,
+        )
+        query.start()
+
+    network.run(until=scenario.duration_s + scenario.drain_s)
+
+    collector = network.collector
+    result = ExperimentResult(scenario=scenario)
+    result.qct_values = collector.qct_values()
+    result.bg_fct_short_values = collector.fct_values(kind="background", min_size=1_000, max_size=10_000)
+    result.bg_fct_large_values = collector.fct_values(kind="background", min_size=100_000)
+    large = [f for f in collector.flows if f.kind == "background" and f.size >= 100_000]
+    result.bg_large_total = len(large)
+    result.bg_large_completed = sum(1 for f in large if f.completed)
+    result.queries_started = query.queries_started if query else 0
+    result.queries_completed = sum(1 for q in collector.queries if q.completed)
+    result.bg_flows_started = background.flows_started if background else 0
+    result.flows_total = len(collector.flows)
+    result.flows_completed = sum(1 for f in collector.flows if f.completed)
+    result.drops = network.drop_report()
+    result.detours = network.total_detours()
+    result.ecn_marks = network.total_ecn_marks()
+    result.timeouts = sum(f.timeouts for f in collector.flows)
+    result.retransmits = sum(f.retransmits for f in collector.flows)
+    result.events = network.scheduler.events_processed
+    result.wall_seconds = time.perf_counter() - started
+    return result
+
+
+def run_pooled(scenario: Scenario, seeds=(0,), trace_paths: bool = False) -> ExperimentResult:
+    """Run the scenario once per seed and pool the samples.
+
+    Tail percentiles (the paper's 99th) are noisy on short scaled runs;
+    pooling QCT/FCT samples over independent seeds recovers a stable tail
+    without simulating paper-length runs.  Counters are summed.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    merged: Optional[ExperimentResult] = None
+    for seed in seeds:
+        result = run_scenario(scenario.with_overrides(seed=seed), trace_paths=trace_paths)
+        if merged is None:
+            merged = result
+            continue
+        merged.qct_values.extend(result.qct_values)
+        merged.bg_fct_short_values.extend(result.bg_fct_short_values)
+        merged.bg_fct_large_values.extend(result.bg_fct_large_values)
+        merged.bg_large_total += result.bg_large_total
+        merged.bg_large_completed += result.bg_large_completed
+        merged.queries_started += result.queries_started
+        merged.queries_completed += result.queries_completed
+        merged.bg_flows_started += result.bg_flows_started
+        merged.flows_completed += result.flows_completed
+        merged.flows_total += result.flows_total
+        for key, value in result.drops.items():
+            merged.drops[key] = merged.drops.get(key, 0) + value
+        merged.detours += result.detours
+        merged.ecn_marks += result.ecn_marks
+        merged.timeouts += result.timeouts
+        merged.retransmits += result.retransmits
+        merged.events += result.events
+        merged.wall_seconds += result.wall_seconds
+    return merged

@@ -1,0 +1,246 @@
+"""Canonical experiment scenarios.
+
+A :class:`Scenario` bundles every knob of Table 1/Table 2 — topology,
+switch queueing, scheme (which combination of queue discipline, DIBS, and
+host transport), workload intensities — and knows how to instantiate the
+network and host transport configs.  The scheme names used throughout the
+benches:
+
+===============  ============================  =====  =========================
+scheme           switch queues                 DIBS   host transport
+===============  ============================  =====  =========================
+``dctcp``        ECN FIFO (K=20)               off    DCTCP, fast rtx on
+``dibs``         ECN FIFO (K=20)               on     DCTCP, fast rtx off (§4)
+``dctcp-inf``    infinite FIFO + ECN           off    DCTCP
+``tcp``          droptail FIFO                 off    NewReno
+``tcp-inf``      infinite FIFO                 off    NewReno
+``tcp-dibs``     droptail FIFO                 on     NewReno, fast rtx off
+``pfabric``      24-pkt priority queues        off    pFabric minimal TCP
+``dctcp-dba``    shared-memory DBA + ECN       off    DCTCP
+``dibs-dba``     shared-memory DBA + ECN       on     DCTCP, fast rtx off
+``dctcp-pfc``    ECN FIFO + Ethernet PAUSE     off    DCTCP (§6 comparison)
+``dctcp-spray``  ECN FIFO, packet-level ECMP   off    DCTCP, dup-ACK thr 10
+===============  ============================  =====  =========================
+
+Table 1 defaults are the dataclass defaults (1 Gbps, 100-pkt buffers,
+minRTO 10 ms, initial window 10, MTU 1500).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
+
+from repro.core.config import DibsConfig
+from repro.core.detour import make_policy
+from repro.net.network import Network, SwitchQueueConfig
+from repro.topo import click_testbed, fat_tree, jellyfish, leaf_spine, linear
+from repro.transport.base import TcpConfig
+from repro.transport.pfabric import PFabricConfig
+
+__all__ = ["Scenario", "SCHEMES", "PAPER_DEFAULTS", "SCALED_DEFAULTS"]
+
+SCHEMES = (
+    "dctcp",
+    "dibs",
+    "dctcp-inf",
+    "tcp",
+    "tcp-inf",
+    "tcp-dibs",
+    "pfabric",
+    "dctcp-dba",
+    "dibs-dba",
+    "dctcp-pfc",
+    "dctcp-spray",
+)
+
+_UNSET = "scheme-default"
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully specified experiment point."""
+
+    name: str = "default"
+    scheme: str = "dibs"
+
+    # --- topology -----------------------------------------------------
+    topology: str = "fattree"  # fattree | testbed | leafspine | linear | jellyfish
+    k: int = 4
+    link_rate_bps: float = 1e9
+    link_delay_s: float = 5e-6
+    oversubscription: float = 1.0  # inter-switch slowdown factor (§5.5.4)
+
+    # --- switch configuration ------------------------------------------
+    buffer_pkts: int = 100
+    ecn_threshold_pkts: int = 20
+    pfabric_queue_pkts: int = 24
+    dba_total_bytes: int = 1_700_000
+    detour_policy: str = "random"
+
+    # --- host configuration ---------------------------------------------
+    ttl: int = 255
+    min_rto_s: float = 0.010
+    init_cwnd_pkts: int = 10
+    pfabric_rto_s: float = 350e-6
+    pfabric_window_pkts: int = 12
+    # "scheme-default" keeps the scheme's fast-retransmit behaviour; an int
+    # sets the dup-ACK threshold; None disables fast retransmit.
+    dupack_threshold: Union[str, int, None] = _UNSET
+
+    # --- workload -------------------------------------------------------
+    bg_enabled: bool = True
+    bg_interarrival_s: float = 0.120
+    query_enabled: bool = True
+    qps: float = 300.0
+    incast_degree: int = 40
+    response_bytes: int = 20_000
+
+    # --- execution --------------------------------------------------------
+    duration_s: float = 0.300
+    drain_s: float = 1.0
+    seed: int = 0
+
+    # ------------------------------------------------------------------
+    def with_overrides(self, **kwargs) -> "Scenario":
+        return replace(self, **kwargs)
+
+    def validate(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise ValueError(f"unknown scheme {self.scheme!r}; known: {SCHEMES}")
+        if self.duration_s <= 0 or self.drain_s < 0:
+            raise ValueError("duration must be positive, drain non-negative")
+
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+    def build_topology(self):
+        if self.topology == "fattree":
+            return fat_tree(
+                k=self.k,
+                rate_bps=self.link_rate_bps,
+                delay_s=self.link_delay_s,
+                inter_switch_slowdown=self.oversubscription,
+            )
+        if self.topology == "testbed":
+            return click_testbed(rate_bps=self.link_rate_bps, delay_s=self.link_delay_s)
+        if self.topology == "leafspine":
+            return leaf_spine(rate_bps=self.link_rate_bps, delay_s=self.link_delay_s)
+        if self.topology == "linear":
+            return linear(rate_bps=self.link_rate_bps, delay_s=self.link_delay_s)
+        if self.topology == "jellyfish":
+            return jellyfish(rate_bps=self.link_rate_bps, delay_s=self.link_delay_s, seed=self.seed)
+        raise ValueError(f"unknown topology {self.topology!r}")
+
+    def switch_queue_config(self) -> SwitchQueueConfig:
+        scheme = self.scheme
+        if scheme in ("dctcp", "dibs", "dctcp-pfc", "dctcp-spray"):
+            discipline = "ecn"
+        elif scheme == "dctcp-inf":
+            discipline = "infinite"
+        elif scheme == "tcp":
+            discipline = "droptail"
+        elif scheme == "tcp-inf":
+            discipline = "infinite"
+        elif scheme == "tcp-dibs":
+            discipline = "droptail"
+        elif scheme == "pfabric":
+            discipline = "pfabric"
+        elif scheme in ("dctcp-dba", "dibs-dba"):
+            discipline = "dba"
+        else:  # pragma: no cover - guarded by validate()
+            raise AssertionError(scheme)
+        return SwitchQueueConfig(
+            discipline=discipline,
+            buffer_pkts=self.buffer_pkts,
+            ecn_threshold_pkts=self.ecn_threshold_pkts,
+            pfabric_queue_pkts=self.pfabric_queue_pkts,
+            dba_total_bytes=self.dba_total_bytes,
+            infinite_with_ecn=(scheme == "dctcp-inf"),
+            pfc=(scheme == "dctcp-pfc"),
+            ecmp_mode="packet" if scheme == "dctcp-spray" else "flow",
+        )
+
+    def dibs_config(self) -> DibsConfig:
+        if self.scheme in ("dibs", "tcp-dibs", "dibs-dba"):
+            return DibsConfig(enabled=True, policy=make_policy(self.detour_policy))
+        return DibsConfig.disabled()
+
+    def transport_config(self) -> Union[TcpConfig, PFabricConfig]:
+        """The host transport matching the scheme, with scenario overrides."""
+        scheme = self.scheme
+        if scheme == "pfabric":
+            return PFabricConfig(
+                window_pkts=self.pfabric_window_pkts,
+                rto=self.pfabric_rto_s,
+                ttl=self.ttl,
+            )
+        dibs_hosts = scheme in ("dibs", "tcp-dibs", "dibs-dba")
+        dctcp = scheme in (
+            "dctcp", "dibs", "dctcp-inf", "dctcp-dba", "dibs-dba",
+            "dctcp-pfc", "dctcp-spray",
+        )
+        if self.dupack_threshold == _UNSET:
+            if dibs_hosts:
+                threshold: Optional[int] = None
+            elif scheme == "dctcp-spray":
+                # Packet spraying reorders constantly; a sane deployment
+                # raises the dup-ACK threshold (cf. §4's suggestion).
+                threshold = 10
+            else:
+                threshold = 3
+        else:
+            threshold = self.dupack_threshold  # type: ignore[assignment]
+        return TcpConfig(
+            dctcp=dctcp,
+            ecn=dctcp,
+            fast_retransmit_threshold=threshold,
+            min_rto=self.min_rto_s,
+            init_cwnd_pkts=self.init_cwnd_pkts,
+            ttl=self.ttl,
+        )
+
+    def build_network(self, trace_paths: bool = False) -> Network:
+        self.validate()
+        return Network(
+            self.build_topology(),
+            switch_queues=self.switch_queue_config(),
+            dibs=self.dibs_config(),
+            seed=self.seed,
+            trace_paths=trace_paths,
+        )
+
+
+# The paper's Table 1/Table 2 default operating point (K=8 fat-tree).
+PAPER_DEFAULTS = Scenario(
+    name="paper-defaults",
+    k=8,
+    buffer_pkts=100,
+    ecn_threshold_pkts=20,
+    bg_interarrival_s=0.120,
+    qps=300.0,
+    incast_degree=40,
+    response_bytes=20_000,
+    duration_s=1.0,
+)
+
+# Scaled operating point used by the default bench suite: K=4 (16 hosts).
+# Three ratios are preserved against the paper's default point:
+#   * burst-to-buffer: 40 senders x 10-pkt windows vs 100-pkt buffers
+#     ~= 12 senders x 10-pkt windows vs 30-pkt buffers,
+#   * incast degree to cluster size: 40/128 ~= 12/16 x (smaller cluster,
+#     so the degree is relatively higher; absolute burstiness is matched
+#     via the buffer instead),
+#   * queries per host per second: 300 qps / 128 hosts ~= 40 qps / 16.
+SCALED_DEFAULTS = Scenario(
+    name="scaled-defaults",
+    k=4,
+    buffer_pkts=30,
+    ecn_threshold_pkts=8,
+    bg_interarrival_s=0.120,
+    qps=40.0,
+    incast_degree=12,
+    response_bytes=20_000,
+    duration_s=0.400,
+    drain_s=1.0,
+)

@@ -1,0 +1,79 @@
+"""Parameter sweeps (Table 2) and scheme comparisons.
+
+``sweep`` runs one scenario per (parameter value x scheme) and returns the
+results keyed by (value, scheme) — exactly the series the paper plots in
+Figures 7–16.  The ranges of Table 2 are recorded in
+:data:`PAPER_RANGES`; the scaled ranges the default benches use are in
+:data:`SCALED_RANGES`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.experiments.runner import ExperimentResult, run_pooled, run_scenario
+from repro.experiments.scenarios import Scenario
+
+__all__ = ["sweep", "compare_schemes", "PAPER_RANGES", "SCALED_RANGES"]
+
+# Table 2 of the paper: parameter ranges explored, bold defaults.
+PAPER_RANGES = {
+    "bg_interarrival_s": {"values": [0.010, 0.020, 0.040, 0.080, 0.120], "default": 0.120},
+    "qps": {"values": [300, 500, 1000, 1500, 2000, 6000, 8000, 10000, 12000, 15000], "default": 300},
+    "response_bytes": {"values": [20_000, 30_000, 40_000, 50_000, 160_000], "default": 20_000},
+    "incast_degree": {"values": [40, 60, 80, 100], "default": 40},
+    "buffer_pkts": {"values": [1, 5, 10, 25, 40, 100, 200], "default": 100},
+    "ttl": {"values": [12, 24, 36, 48, 255], "default": 255},
+    "oversubscription": {"values": [1, 2, 3, 4], "default": 1},
+}
+
+# The scaled equivalents used by the default bench suite (K=4, 16 hosts,
+# 30-pkt buffers): the burst-to-buffer and degree-to-cluster ratios track
+# the paper's.
+SCALED_RANGES = {
+    "bg_interarrival_s": {"values": [0.010, 0.020, 0.040, 0.080, 0.120], "default": 0.120},
+    "qps": {"values": [300, 500, 1000, 1500, 2000], "default": 300},
+    "response_bytes": {"values": [20_000, 30_000, 40_000, 50_000], "default": 20_000},
+    "incast_degree": {"values": [6, 9, 12, 15], "default": 12},
+    "buffer_pkts": {"values": [5, 10, 20, 30, 60, 100], "default": 30},
+    "ttl": {"values": [12, 24, 36, 48, 255], "default": 255},
+    "oversubscription": {"values": [1, 2, 3, 4], "default": 1},
+}
+
+
+def sweep(
+    base: Scenario,
+    parameter: str,
+    values: Iterable,
+    schemes: Sequence[str] = ("dctcp", "dibs"),
+    seeds: Sequence[int] = (0,),
+) -> dict[tuple[object, str], ExperimentResult]:
+    """Run ``base`` once per (value, scheme, seed) combination, pooling
+    seeds into one result per (value, scheme).
+
+    ``parameter`` must be a :class:`Scenario` field name.  Results are
+    keyed by ``(value, scheme)``.
+    """
+    if not hasattr(base, parameter):
+        raise ValueError(f"scenario has no parameter {parameter!r}")
+    results: dict[tuple[object, str], ExperimentResult] = {}
+    for value in values:
+        for scheme in schemes:
+            scenario = base.with_overrides(
+                **{parameter: value},
+                scheme=scheme,
+                name=f"{base.name}:{parameter}={value}:{scheme}",
+            )
+            results[(value, scheme)] = run_pooled(scenario, seeds=seeds)
+    return results
+
+
+def compare_schemes(
+    base: Scenario, schemes: Sequence[str], seeds: Sequence[int] = (0,)
+) -> dict[str, ExperimentResult]:
+    """Run the same operating point under several schemes."""
+    out = {}
+    for scheme in schemes:
+        scenario = base.with_overrides(scheme=scheme, name=f"{base.name}:{scheme}")
+        out[scheme] = run_pooled(scenario, seeds=seeds)
+    return out

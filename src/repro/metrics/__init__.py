@@ -1,0 +1,41 @@
+"""Measurement: flow/query records, statistics, fabric sampling, traces."""
+
+from repro.metrics.collector import (
+    KIND_BACKGROUND,
+    KIND_LONG,
+    KIND_QUERY,
+    MetricsCollector,
+    QueryRecord,
+)
+from repro.metrics.export import (
+    export_result_json,
+    flows_to_records,
+    queries_to_records,
+    write_flows_csv,
+    write_queries_csv,
+)
+from repro.metrics.hotlinks import FabricSampler
+from repro.metrics.stats import cdf_points, jain_index, mean, percentile, summarize
+from repro.metrics.trace import DetourTrace, QueueOccupancyTrace, arc_counts
+
+__all__ = [
+    "MetricsCollector",
+    "QueryRecord",
+    "KIND_BACKGROUND",
+    "KIND_QUERY",
+    "KIND_LONG",
+    "FabricSampler",
+    "export_result_json",
+    "flows_to_records",
+    "queries_to_records",
+    "write_flows_csv",
+    "write_queries_csv",
+    "percentile",
+    "mean",
+    "summarize",
+    "jain_index",
+    "cdf_points",
+    "DetourTrace",
+    "QueueOccupancyTrace",
+    "arc_counts",
+]

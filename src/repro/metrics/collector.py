@@ -1,0 +1,141 @@
+"""Flow- and query-level measurement collection.
+
+The paper's two headline metrics (§5.3):
+
+* **QCT** — query completion time: for a partition/aggregate query, the
+  time from query issue until the *target has received every responder's
+  flow*; reported at the 99th percentile.
+* **Background FCT** — flow completion time of short (1–10 KB) background
+  flows, also at the 99th percentile, to expose collateral damage.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.metrics.stats import percentile, summarize
+from repro.transport.base import FlowHandle
+
+__all__ = ["QueryRecord", "MetricsCollector", "KIND_BACKGROUND", "KIND_QUERY", "KIND_LONG"]
+
+KIND_BACKGROUND = "background"
+KIND_QUERY = "query"
+KIND_LONG = "long-lived"
+
+
+class QueryRecord:
+    """One partition/aggregate query: ``degree`` response flows to a target."""
+
+    __slots__ = ("query_id", "target", "start_time", "flows", "_remaining", "done_time")
+
+    def __init__(self, query_id: int, target: int, start_time: float) -> None:
+        self.query_id = query_id
+        self.target = target
+        self.start_time = start_time
+        self.flows: list[FlowHandle] = []
+        self._remaining = 0
+        self.done_time: Optional[float] = None
+
+    def attach(self, flow: FlowHandle) -> None:
+        self.flows.append(flow)
+        self._remaining += 1
+        flow.on_complete = self._flow_done
+
+    def _flow_done(self, flow: FlowHandle) -> None:
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.done_time = flow.receiver_done_time
+
+    @property
+    def completed(self) -> bool:
+        return self.done_time is not None
+
+    @property
+    def qct(self) -> Optional[float]:
+        if self.done_time is None:
+            return None
+        return self.done_time - self.start_time
+
+
+class MetricsCollector:
+    """Accumulates flows and queries for one simulation run."""
+
+    def __init__(self) -> None:
+        self.flows: list[FlowHandle] = []
+        self.queries: list[QueryRecord] = []
+
+    # ------------------------------------------------------------------
+    def add_flow(self, flow: FlowHandle) -> None:
+        self.flows.append(flow)
+
+    def new_query(self, query_id: int, target: int, start_time: float) -> QueryRecord:
+        record = QueryRecord(query_id, target, start_time)
+        self.queries.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # selection
+    # ------------------------------------------------------------------
+    def completed_flows(
+        self,
+        kind: Optional[str] = None,
+        min_size: int = 0,
+        max_size: Optional[int] = None,
+    ) -> list[FlowHandle]:
+        out = []
+        for flow in self.flows:
+            if not flow.completed:
+                continue
+            if kind is not None and flow.kind != kind:
+                continue
+            if flow.size < min_size:
+                continue
+            if max_size is not None and flow.size > max_size:
+                continue
+            out.append(flow)
+        return out
+
+    def fct_values(
+        self,
+        kind: Optional[str] = None,
+        min_size: int = 0,
+        max_size: Optional[int] = None,
+    ) -> list[float]:
+        return [f.fct for f in self.completed_flows(kind, min_size, max_size)]
+
+    def qct_values(self) -> list[float]:
+        return [q.qct for q in self.queries if q.completed]
+
+    # ------------------------------------------------------------------
+    # the paper's headline numbers
+    # ------------------------------------------------------------------
+    def qct_p99(self) -> Optional[float]:
+        values = self.qct_values()
+        return percentile(values, 99) if values else None
+
+    def short_bg_fct_p99(self, min_size: int = 1_000, max_size: int = 10_000) -> Optional[float]:
+        """99th-percentile FCT of short (1–10 KB) background flows (§5.3)."""
+        values = self.fct_values(kind=KIND_BACKGROUND, min_size=min_size, max_size=max_size)
+        return percentile(values, 99) if values else None
+
+    def incomplete_counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for flow in self.flows:
+            if not flow.completed:
+                out[flow.kind] = out.get(flow.kind, 0) + 1
+        return out
+
+    def summary(self) -> dict[str, object]:
+        qcts = self.qct_values()
+        return {
+            "flows": len(self.flows),
+            "flows_completed": sum(1 for f in self.flows if f.completed),
+            "queries": len(self.queries),
+            "queries_completed": len(qcts),
+            "qct": summarize(qcts),
+            "bg_fct_short": summarize(
+                self.fct_values(kind=KIND_BACKGROUND, min_size=1_000, max_size=10_000)
+            ),
+            "retransmits": sum(f.retransmits for f in self.flows),
+            "timeouts": sum(f.timeouts for f in self.flows),
+        }

@@ -1,0 +1,117 @@
+"""Result export: JSON and CSV writers for flows, queries, and results.
+
+Downstream users typically want raw per-flow records to plot their own
+CDFs; these helpers dump everything the collector knows in stable, typed
+formats.  Used by the examples and handy for comparing runs across code
+versions.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.runner import ExperimentResult
+    from repro.metrics.collector import MetricsCollector
+
+__all__ = ["flows_to_records", "queries_to_records", "write_flows_csv",
+           "write_queries_csv", "export_result_json"]
+
+PathLike = Union[str, Path]
+
+_FLOW_FIELDS = [
+    "flow_id", "kind", "src", "dst", "size", "start_time",
+    "receiver_done_time", "fct", "retransmits", "timeouts",
+    "packets_sent", "packets_received", "completed",
+]
+
+_QUERY_FIELDS = ["query_id", "target", "start_time", "done_time", "qct", "degree", "completed"]
+
+
+def flows_to_records(collector: "MetricsCollector") -> list[dict]:
+    """One plain dict per flow, completed or not."""
+    records = []
+    for flow in collector.flows:
+        records.append(
+            {
+                "flow_id": flow.flow_id,
+                "kind": flow.kind,
+                "src": flow.src,
+                "dst": flow.dst,
+                "size": flow.size,
+                "start_time": flow.start_time,
+                "receiver_done_time": flow.receiver_done_time,
+                "fct": flow.fct,
+                "retransmits": flow.retransmits,
+                "timeouts": flow.timeouts,
+                "packets_sent": flow.packets_sent,
+                "packets_received": flow.packets_received,
+                "completed": flow.completed,
+            }
+        )
+    return records
+
+
+def queries_to_records(collector: "MetricsCollector") -> list[dict]:
+    """One plain dict per query."""
+    return [
+        {
+            "query_id": q.query_id,
+            "target": q.target,
+            "start_time": q.start_time,
+            "done_time": q.done_time,
+            "qct": q.qct,
+            "degree": len(q.flows),
+            "completed": q.completed,
+        }
+        for q in collector.queries
+    ]
+
+
+def write_flows_csv(collector: "MetricsCollector", path: PathLike) -> Path:
+    """Dump all flow records to CSV; returns the written path."""
+    return _write_csv(Path(path), _FLOW_FIELDS, flows_to_records(collector))
+
+
+def write_queries_csv(collector: "MetricsCollector", path: PathLike) -> Path:
+    """Dump all query records to CSV; returns the written path."""
+    return _write_csv(Path(path), _QUERY_FIELDS, queries_to_records(collector))
+
+
+def _write_csv(path: Path, fields: list[str], records: list[dict]) -> Path:
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fields)
+        writer.writeheader()
+        writer.writerows(records)
+    return path
+
+
+def export_result_json(result: "ExperimentResult", path: PathLike) -> Path:
+    """Serialize an :class:`ExperimentResult` (scenario + metrics) to JSON."""
+    from dataclasses import asdict
+
+    scenario = asdict(result.scenario)
+    # The detour policy object isn't JSON-serializable; its name is.
+    payload = {
+        "scenario": scenario,
+        "qct_values": result.qct_values,
+        "bg_fct_short_values": result.bg_fct_short_values,
+        "bg_fct_large_values": result.bg_fct_large_values,
+        "qct_p99_ms": result.qct_p99_ms,
+        "bg_fct_p99_ms": result.bg_fct_p99_ms,
+        "queries_started": result.queries_started,
+        "queries_completed": result.queries_completed,
+        "drops": result.drops,
+        "detours": result.detours,
+        "ecn_marks": result.ecn_marks,
+        "timeouts": result.timeouts,
+        "retransmits": result.retransmits,
+        "events": result.events,
+        "wall_seconds": result.wall_seconds,
+    }
+    out = Path(path)
+    out.write_text(json.dumps(payload, indent=2, default=str))
+    return out

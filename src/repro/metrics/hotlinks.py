@@ -1,0 +1,122 @@
+"""Hot-link and neighbor-buffer analysis (Figures 4 and 5).
+
+The paper's premise check: congestion is sparse (few links "hot" at any
+instant) and localized (plenty of free buffer within 1–2 switch hops of a
+hot link).  :class:`FabricSampler` bins time into fixed intervals and, per
+bin, computes
+
+* the fraction of directed fabric links whose utilization in that bin is at
+  least ``hot_threshold`` (Fig. 4 uses 90 %, Fig. 3's source used 50 %),
+* the fraction of buffer slots *available* in the 1-hop and 2-hop switch
+  neighborhoods of the switches driving hot links (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+
+__all__ = ["FabricSampler"]
+
+
+class FabricSampler:
+    """Periodic sampler of fabric-link utilization and buffer occupancy."""
+
+    def __init__(
+        self,
+        network: "Network",
+        interval_s: float = 1e-3,
+        hot_threshold: float = 0.9,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("sampling interval must be positive")
+        if not 0.0 < hot_threshold <= 1.0:
+            raise ValueError("hot threshold must be in (0, 1]")
+        self.network = network
+        self.interval_s = interval_s
+        self.hot_threshold = hot_threshold
+
+        self._ports = network.fabric_ports()
+        self._last_bytes = [port.bytes_sent for _, port in self._ports]
+        self._stop_at: Optional[float] = None
+
+        # Per-bin series.
+        self.hot_fractions: list[float] = []
+        self.neighbor_free_1hop: list[float] = []
+        self.neighbor_free_2hop: list[float] = []
+
+        # Switch fabric adjacency, by name.
+        self._adj = network.topo.switch_adjacency()
+        self._two_hop = {
+            name: self._k_hop_neighbors(name, 2) for name in self._adj
+        }
+
+    def _k_hop_neighbors(self, start: str, k: int) -> set[str]:
+        seen = {start}
+        frontier = {start}
+        for _ in range(k):
+            nxt = set()
+            for node in frontier:
+                for nbr in self._adj[node]:
+                    if nbr not in seen:
+                        seen.add(nbr)
+                        nxt.add(nbr)
+            frontier = nxt
+        seen.discard(start)
+        return seen
+
+    # ------------------------------------------------------------------
+    def start(self, stop_at: float) -> None:
+        """Begin sampling now; the last bin closes at ``stop_at``."""
+        self._stop_at = stop_at
+        self.network.scheduler.schedule(self.interval_s, self._sample)
+
+    def _sample(self) -> None:
+        fractions_hot, hot_switches = self._utilization_pass()
+        self.hot_fractions.append(fractions_hot)
+        if hot_switches:
+            self.neighbor_free_1hop.append(self._free_fraction(hot_switches, hops=1))
+            self.neighbor_free_2hop.append(self._free_fraction(hot_switches, hops=2))
+        now = self.network.scheduler.now
+        if self._stop_at is None or now + self.interval_s <= self._stop_at + 1e-12:
+            self.network.scheduler.schedule(self.interval_s, self._sample)
+
+    def _utilization_pass(self) -> tuple[float, set[str]]:
+        hot = 0
+        hot_switches: set[str] = set()
+        for i, (switch, port) in enumerate(self._ports):
+            sent = port.bytes_sent
+            delta = sent - self._last_bytes[i]
+            self._last_bytes[i] = sent
+            utilization = delta * 8.0 / (port.rate_bps * self.interval_s)
+            if utilization >= self.hot_threshold:
+                hot += 1
+                hot_switches.add(switch.name)
+        fraction = hot / len(self._ports) if self._ports else 0.0
+        return fraction, hot_switches
+
+    def _free_fraction(self, hot_switches: set[str], hops: int) -> float:
+        neighborhood: set[str] = set()
+        for name in hot_switches:
+            nbrs = self._adj[name] if hops == 1 else self._two_hop[name]
+            neighborhood.update(nbrs)
+        neighborhood -= hot_switches
+        if not neighborhood:
+            return 1.0
+        used = 0
+        capacity = 0
+        for name in neighborhood:
+            switch = self.network.switch(name)
+            for port in switch.ports:
+                capacity += port.queue.capacity_hint
+                used += len(port.queue)
+        if capacity == 0:
+            return 1.0
+        return 1.0 - used / capacity
+
+    # ------------------------------------------------------------------
+    @property
+    def bins(self) -> int:
+        return len(self.hot_fractions)

@@ -1,0 +1,74 @@
+"""Statistics helpers: percentiles, summaries, Jain's fairness index."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["percentile", "mean", "summarize", "jain_index", "cdf_points"]
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Linear-interpolation percentile (the numpy ``linear`` method).
+
+    ``p`` is in [0, 100].  Raises on an empty input — the caller should
+    decide what an absent population means.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    data = sorted(values)
+    if len(data) == 1:
+        return data[0]
+    rank = (p / 100.0) * (len(data) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return data[lo]
+    frac = rank - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def summarize(values: Sequence[float]) -> dict[str, float]:
+    """Mean / median / p99 / min / max / count in one dict."""
+    if not values:
+        return {"count": 0}
+    return {
+        "count": len(values),
+        "mean": mean(values),
+        "p50": percentile(values, 50),
+        "p99": percentile(values, 99),
+        "min": min(values),
+        "max": max(values),
+    }
+
+
+def jain_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)`` in (0, 1].
+
+    Equal allocations give 1.0; a single hog among ``n`` gives ``1/n``.
+    Used in §5.6 for the long-lived-flow fairness experiment.
+    """
+    if not values:
+        raise ValueError("fairness of empty allocation")
+    if any(v < 0 for v in values):
+        raise ValueError("allocations must be non-negative")
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    if squares == 0:
+        return 1.0  # everyone got exactly nothing: perfectly fair
+    return (total * total) / (len(values) * squares)
+
+
+def cdf_points(values: Iterable[float]) -> list[tuple[float, float]]:
+    """Sorted (value, cumulative_fraction) pairs for plotting CDFs."""
+    data = sorted(values)
+    n = len(data)
+    return [(v, (i + 1) / n) for i, v in enumerate(data)]

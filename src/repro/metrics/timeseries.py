@@ -1,0 +1,102 @@
+"""Throughput time series.
+
+Samples per-flow goodput and per-port utilization on a fixed period,
+producing the curves behind convergence/fairness-over-time analyses (§5.6)
+and the link heatmaps of Figure 2.  Unlike :class:`FabricSampler` (which
+aggregates to hot-link fractions), these keep the raw series.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.link import Port
+    from repro.net.network import Network
+    from repro.transport.base import FlowHandle
+
+__all__ = ["FlowThroughputSampler", "PortUtilizationSampler"]
+
+
+class FlowThroughputSampler:
+    """Periodic goodput (receiver in-order bytes/s) per tracked flow."""
+
+    def __init__(self, network: "Network", flows: Sequence["FlowHandle"], interval_s: float = 1e-3):
+        if interval_s <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.network = network
+        self.flows = list(flows)
+        self.interval_s = interval_s
+        self.times: list[float] = []
+        self.series: dict[int, list[float]] = {f.flow_id: [] for f in self.flows}
+        self._last_bytes = {f.flow_id: 0 for f in self.flows}
+        self._stop_at: Optional[float] = None
+
+    def start(self, stop_at: float) -> None:
+        self._stop_at = stop_at
+        self.network.scheduler.schedule(self.interval_s, self._sample)
+
+    def _sample(self) -> None:
+        now = self.network.scheduler.now
+        self.times.append(now)
+        for flow in self.flows:
+            last = self._last_bytes[flow.flow_id]
+            current = flow.bytes_received
+            self._last_bytes[flow.flow_id] = current
+            self.series[flow.flow_id].append((current - last) * 8.0 / self.interval_s)
+        if self._stop_at is None or now + self.interval_s <= self._stop_at + 1e-12:
+            self.network.scheduler.schedule(self.interval_s, self._sample)
+
+    def goodput_bps(self, flow_id: int) -> list[float]:
+        """The sampled series for one flow."""
+        return self.series[flow_id]
+
+    def jain_over_time(self) -> list[float]:
+        """Per-interval Jain index across the tracked flows."""
+        from repro.metrics.stats import jain_index
+
+        out = []
+        for i in range(len(self.times)):
+            snapshot = [self.series[f.flow_id][i] for f in self.flows]
+            out.append(jain_index(snapshot))
+        return out
+
+
+class PortUtilizationSampler:
+    """Periodic utilization of selected ports (fraction of capacity)."""
+
+    def __init__(self, network: "Network", ports: Sequence["Port"], interval_s: float = 1e-3):
+        if interval_s <= 0:
+            raise ValueError("sampling interval must be positive")
+        if not ports:
+            raise ValueError("need at least one port to sample")
+        self.network = network
+        self.ports = list(ports)
+        self.interval_s = interval_s
+        self.times: list[float] = []
+        self.series: list[list[float]] = [[] for _ in self.ports]
+        self._last_bytes = [p.bytes_sent for p in self.ports]
+        self._stop_at: Optional[float] = None
+
+    def start(self, stop_at: float) -> None:
+        self._stop_at = stop_at
+        self.network.scheduler.schedule(self.interval_s, self._sample)
+
+    def _sample(self) -> None:
+        now = self.network.scheduler.now
+        self.times.append(now)
+        for i, port in enumerate(self.ports):
+            sent = port.bytes_sent
+            delta = sent - self._last_bytes[i]
+            self._last_bytes[i] = sent
+            self.series[i].append(delta * 8.0 / (port.rate_bps * self.interval_s))
+        if self._stop_at is None or now + self.interval_s <= self._stop_at + 1e-12:
+            self.network.scheduler.schedule(self.interval_s, self._sample)
+
+    def peak_utilization(self, index: int = 0) -> float:
+        series = self.series[index]
+        return max(series) if series else 0.0
+
+    def mean_utilization(self, index: int = 0) -> float:
+        series = self.series[index]
+        return sum(series) / len(series) if series else 0.0

@@ -1,0 +1,48 @@
+"""Packet-level network substrate: packets, queues, links, switches, hosts."""
+
+from repro.net.audit import ConservationReport, assert_conserved, conservation_report
+from repro.net.cioq import CioqSwitch
+from repro.net.host import Host
+from repro.net.link import Port, connect
+from repro.net.network import Network, SwitchQueueConfig
+from repro.net.node import Node
+from repro.net.packet import ACK, DATA, DEFAULT_TTL, MSS_BYTES, MTU_BYTES, Packet
+from repro.net.queues import (
+    INFINITE_CAPACITY,
+    DropTailQueue,
+    DynamicBufferQueue,
+    EcnQueue,
+    PFabricQueue,
+    SharedBufferPool,
+)
+from repro.net.pfc import PfcController, enable_pfc
+from repro.net.switch import Switch, SwitchCounters
+
+__all__ = [
+    "Host",
+    "Port",
+    "connect",
+    "Network",
+    "SwitchQueueConfig",
+    "Node",
+    "Packet",
+    "ACK",
+    "DATA",
+    "DEFAULT_TTL",
+    "MSS_BYTES",
+    "MTU_BYTES",
+    "INFINITE_CAPACITY",
+    "DropTailQueue",
+    "DynamicBufferQueue",
+    "EcnQueue",
+    "PFabricQueue",
+    "SharedBufferPool",
+    "Switch",
+    "SwitchCounters",
+    "ConservationReport",
+    "assert_conserved",
+    "conservation_report",
+    "PfcController",
+    "enable_pfc",
+    "CioqSwitch",
+]

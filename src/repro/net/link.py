@@ -1,0 +1,157 @@
+"""Ports and links.
+
+A *link* in this simulator is a pair of unidirectional :class:`Port`
+transmitters, one on each endpoint (full duplex, as in Ethernet).  Each port
+owns an output queue and models store-and-forward serialisation: a packet of
+``S`` bytes occupies the transmitter for ``8*S/rate`` seconds and is
+delivered to the peer ``delay`` seconds after its last bit leaves.
+
+Ports also keep the counters the metrics layer consumes (bytes sent, busy
+time) — link utilisation for the hot-link analysis of Figures 4–5 is derived
+from deltas of ``bytes_sent``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.sim.engine import Scheduler
+
+__all__ = ["Port", "connect"]
+
+
+class Port:
+    """One direction of a full-duplex link, plus its output queue."""
+
+    __slots__ = (
+        "node",
+        "index",
+        "queue",
+        "rate_bps",
+        "delay_s",
+        "peer_node",
+        "peer_port_index",
+        "peer_is_host",
+        "busy",
+        "paused",
+        "scheduler",
+        "bytes_sent",
+        "pkts_sent",
+        "busy_seconds",
+        "on_queue_change",
+        "_pause_expiry",
+        "pauses_received",
+    )
+
+    def __init__(self, node: Node, queue, rate_bps: float, delay_s: float) -> None:
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if delay_s < 0:
+            raise ValueError("propagation delay cannot be negative")
+        self.node = node
+        self.queue = queue
+        self.rate_bps = rate_bps
+        self.delay_s = delay_s
+        self.scheduler: Scheduler = node.scheduler
+        self.index = node.add_port(self)
+        self.peer_node: Optional[Node] = None
+        self.peer_port_index: int = -1
+        self.peer_is_host = False
+        self.busy = False
+        self.paused = False  # Ethernet flow control (see repro.net.pfc)
+        self.bytes_sent = 0
+        self.pkts_sent = 0
+        self.busy_seconds = 0.0
+        # Optional observer invoked after every enqueue/dequeue on this
+        # port's queue; used by PFC to watch occupancy thresholds.
+        self.on_queue_change = None
+        self._pause_expiry = None
+        self.pauses_received = 0
+
+    # ------------------------------------------------------------------
+    def attach_peer(self, peer: "Port") -> None:
+        self.peer_node = peer.node
+        self.peer_port_index = peer.index
+        self.peer_is_host = peer.node.is_host
+
+    def tx_time(self, pkt: Packet) -> float:
+        """Serialisation delay of ``pkt`` on this port."""
+        return pkt.size * 8.0 / self.rate_bps
+
+    # ------------------------------------------------------------------
+    def send(self, pkt: Packet) -> bool:
+        """Enqueue ``pkt`` for transmission.  Returns ``False`` on tail drop."""
+        if not self.queue.enqueue(pkt):
+            return False
+        if self.on_queue_change is not None:
+            self.on_queue_change(self)
+        if not self.busy and not self.paused:
+            self._tx_next()
+        return True
+
+    def pause(self, duration_s: Optional[float] = None) -> None:
+        """Stop transmitting after the current packet (PFC PAUSE).
+
+        Real 802.3x PAUSE frames carry a pause time and expire — which is
+        what breaks circular pause dependencies (deadlocks).  ``duration_s``
+        models that; ``None`` pauses until an explicit :meth:`resume`.
+        """
+        self.paused = True
+        self.pauses_received += 1
+        if self._pause_expiry is not None:
+            self._pause_expiry.cancel()
+            self._pause_expiry = None
+        if duration_s is not None:
+            self._pause_expiry = self.scheduler.schedule(duration_s, self.resume)
+
+    def resume(self) -> None:
+        """Resume transmission (PFC XON or PAUSE expiry)."""
+        if self._pause_expiry is not None:
+            self._pause_expiry.cancel()
+            self._pause_expiry = None
+        if not self.paused:
+            return
+        self.paused = False
+        if not self.busy:
+            self._tx_next()
+
+    def _tx_next(self) -> None:
+        if self.paused:
+            self.busy = False
+            return
+        pkt = self.queue.dequeue()
+        if pkt is None:
+            self.busy = False
+            return
+        if self.on_queue_change is not None:
+            self.on_queue_change(self)
+        self.busy = True
+        tx = self.tx_time(pkt)
+        self.bytes_sent += pkt.size
+        self.pkts_sent += 1
+        self.busy_seconds += tx
+        self.scheduler.schedule(tx, self._tx_done)
+        self.scheduler.schedule(tx + self.delay_s, self._deliver, pkt)
+
+    def _tx_done(self) -> None:
+        # The transmitter frees up when the last bit leaves; propagation of
+        # the in-flight packet continues independently.
+        self._tx_next()
+
+    def _deliver(self, pkt: Packet) -> None:
+        assert self.peer_node is not None, "port is not connected"
+        self.peer_node.receive(pkt, self.peer_port_index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        peer = self.peer_node.name if self.peer_node else "?"
+        return f"<Port {self.node.name}[{self.index}] -> {peer} qlen={len(self.queue)}>"
+
+
+def connect(port_a: Port, port_b: Port) -> None:
+    """Wire two ports into a full-duplex link."""
+    if port_a.peer_node is not None or port_b.peer_node is not None:
+        raise ValueError("port already connected")
+    port_a.attach_peer(port_b)
+    port_b.attach_peer(port_a)

@@ -1,0 +1,371 @@
+"""Network assembly: topology description -> live simulation.
+
+:class:`Network` instantiates hosts, switches, ports, and queues from a
+:class:`~repro.topo.base.Topology`, installs all-shortest-path FIBs, and
+offers ``start_flow`` to launch transport endpoints.  It is the public
+entry point of the library::
+
+    from repro import Network, SwitchQueueConfig, DibsConfig, fat_tree
+
+    net = Network(fat_tree(k=4), dibs=DibsConfig(), seed=1)
+    flow = net.start_flow(src="host_0", dst="host_5", size=20_000, transport="dibs")
+    net.run(until=0.1)
+    print(flow.fct)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.config import DibsConfig
+from repro.metrics.collector import MetricsCollector
+from repro.net.host import Host
+from repro.net.link import Port, connect
+from repro.net.packet import Packet
+from repro.net.queues import (
+    INFINITE_CAPACITY,
+    DropTailQueue,
+    DynamicBufferQueue,
+    EcnQueue,
+    PFabricQueue,
+    SharedBufferPool,
+)
+from repro.net.switch import Switch
+from repro.routing.fib import compute_fibs
+from repro.sim.engine import Scheduler
+from repro.sim.rng import RngFactory
+from repro.topo.base import Topology
+from repro.transport.base import FlowHandle, TcpConfig, dctcp_config, dibs_host_config
+from repro.transport.pfabric import PFabricConfig, PFabricReceiver, PFabricSender
+from repro.transport.tcp import TcpReceiver, TcpSender
+
+__all__ = ["SwitchQueueConfig", "Network"]
+
+_TRANSPORT_ALIASES = {
+    "tcp": lambda: TcpConfig(),
+    "dctcp": dctcp_config,
+    "dibs": dibs_host_config,
+    "pfabric": lambda: PFabricConfig(),
+}
+
+
+@dataclass
+class SwitchQueueConfig:
+    """Per-port queue configuration for all switches.
+
+    ``discipline`` selects the queue type:
+
+    * ``"ecn"`` — droptail FIFO with DCTCP marking (Table 1 default:
+      100-packet buffer, marking threshold K=20),
+    * ``"droptail"`` — plain droptail FIFO,
+    * ``"infinite"`` — unbounded FIFO (Figure 6/7 baselines); may be
+      combined with ECN marking via ``infinite_with_ecn``,
+    * ``"pfabric"`` — 24-packet priority queue (§5.8),
+    * ``"dba"`` — per-switch shared memory with dynamic buffer allocation,
+      modelled on the Arista 7050QX: 1.7 MB shared across ports (§5.5.2).
+    """
+
+    discipline: str = "ecn"
+    buffer_pkts: int = 100
+    ecn_threshold_pkts: int = 20
+    pfabric_queue_pkts: int = 24
+    dba_total_bytes: int = 1_700_000
+    dba_alpha: float = 1.0
+    dba_ecn: bool = True
+    infinite_with_ecn: bool = True
+    host_nic_queue_pkts: int = INFINITE_CAPACITY
+    # Ethernet flow control (§6 comparison): hop-by-hop PAUSE when a queue
+    # crosses xoff_fraction of capacity, RESUME below xon_fraction.
+    pfc: bool = False
+    pfc_xoff_fraction: float = 0.8
+    pfc_xon_fraction: float = 0.5
+    # "flow" = standard flow-level ECMP; "packet" = per-packet spraying (§6).
+    ecmp_mode: str = "flow"
+    # Switch architecture (§4): "output" (default) or "cioq" with a fabric
+    # speedup and shallow per-input buffers.
+    architecture: str = "output"
+    cioq_speedup: float = 2.0
+    cioq_ingress_pkts: int = 16
+
+    def __post_init__(self) -> None:
+        known = {"ecn", "droptail", "infinite", "pfabric", "dba"}
+        if self.discipline not in known:
+            raise ValueError(f"unknown discipline {self.discipline!r}; known: {sorted(known)}")
+        if self.ecmp_mode not in ("flow", "packet"):
+            raise ValueError(f"unknown ecmp_mode {self.ecmp_mode!r}")
+        if self.architecture not in ("output", "cioq"):
+            raise ValueError(f"unknown architecture {self.architecture!r}")
+
+
+class Network:
+    """A runnable network built from a topology description."""
+
+    def __init__(
+        self,
+        topo: Topology,
+        switch_queues: Optional[SwitchQueueConfig] = None,
+        dibs: Optional[DibsConfig] = None,
+        seed: int = 0,
+        trace_paths: bool = False,
+        scheduler: Optional[Scheduler] = None,
+    ) -> None:
+        topo.validate()
+        self.topo = topo
+        self.switch_queues = switch_queues if switch_queues is not None else SwitchQueueConfig()
+        self.dibs = dibs if dibs is not None else DibsConfig.disabled()
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
+        self.rngs = RngFactory(seed)
+        self.collector = MetricsCollector()
+        self.trace_paths = trace_paths
+
+        self._nodes: dict[str, Union[Host, Switch]] = {}
+        self.hosts: list[Host] = []
+        self.switches: list[Switch] = []
+        self._host_by_id: dict[int, Host] = {}
+        self._dba_pools: dict[str, SharedBufferPool] = {}
+        self._port_index: dict[tuple[str, str], int] = {}
+        self._next_flow_id = 0
+        self._next_query_id = 0
+
+        self._build_nodes()
+        self._build_links()
+        self._install_fibs()
+
+        self.pfc_controllers = []
+        if self.switch_queues.pfc:
+            from repro.net.pfc import enable_pfc
+
+            self.pfc_controllers = enable_pfc(
+                self,
+                xoff_fraction=self.switch_queues.pfc_xoff_fraction,
+                xon_fraction=self.switch_queues.pfc_xon_fraction,
+            )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build_nodes(self) -> None:
+        node_id = 0
+        for name in self.topo.hosts:
+            host = Host(node_id, name, self.scheduler)
+            host.trace_paths = self.trace_paths
+            self._nodes[name] = host
+            self.hosts.append(host)
+            self._host_by_id[node_id] = host
+            node_id += 1
+        detour_rng = self.rngs.stream("dibs.detour")
+        for name in self.topo.switches:
+            if self.switch_queues.architecture == "cioq":
+                from repro.net.cioq import CioqSwitch
+
+                switch = CioqSwitch(
+                    node_id, name, self.scheduler, dibs=self.dibs, rng=detour_rng,
+                    ecmp_mode=self.switch_queues.ecmp_mode,
+                    fabric_speedup=self.switch_queues.cioq_speedup,
+                    ingress_capacity_pkts=self.switch_queues.cioq_ingress_pkts,
+                )
+            else:
+                switch = Switch(node_id, name, self.scheduler, dibs=self.dibs, rng=detour_rng,
+                                ecmp_mode=self.switch_queues.ecmp_mode)
+            self._nodes[name] = switch
+            self.switches.append(switch)
+            node_id += 1
+
+    def _make_switch_queue(self, switch_name: str):
+        cfg = self.switch_queues
+        if cfg.discipline == "ecn":
+            return EcnQueue(cfg.buffer_pkts, cfg.ecn_threshold_pkts)
+        if cfg.discipline == "droptail":
+            return DropTailQueue(cfg.buffer_pkts)
+        if cfg.discipline == "infinite":
+            if cfg.infinite_with_ecn:
+                return EcnQueue(INFINITE_CAPACITY, cfg.ecn_threshold_pkts)
+            return DropTailQueue(INFINITE_CAPACITY)
+        if cfg.discipline == "pfabric":
+            return PFabricQueue(cfg.pfabric_queue_pkts)
+        if cfg.discipline == "dba":
+            pool = self._dba_pools.get(switch_name)
+            if pool is None:
+                pool = SharedBufferPool(cfg.dba_total_bytes, alpha=cfg.dba_alpha)
+                self._dba_pools[switch_name] = pool
+            threshold = cfg.ecn_threshold_pkts if cfg.dba_ecn else None
+            return DynamicBufferQueue(pool, mark_threshold_pkts=threshold)
+        raise AssertionError(f"unhandled discipline {cfg.discipline}")
+
+    def _build_links(self) -> None:
+        for link in self.topo.links:
+            ports = []
+            for end in (link.node_a, link.node_b):
+                node = self._nodes[end]
+                if isinstance(node, Host):
+                    queue = DropTailQueue(self.switch_queues.host_nic_queue_pkts)
+                else:
+                    queue = self._make_switch_queue(end)
+                port = Port(node, queue, link.rate_bps, link.delay_s)
+                self._port_index[(end, self._other(link, end))] = port.index
+                ports.append(port)
+            connect(ports[0], ports[1])
+
+    @staticmethod
+    def _other(link, end: str) -> str:
+        return link.node_b if end == link.node_a else link.node_a
+
+    def _install_fibs(self) -> None:
+        fibs = compute_fibs(self.topo)
+        for switch in self.switches:
+            symbolic = fibs[switch.name]
+            table: dict[int, list[int]] = {}
+            for dst_name, next_hops in symbolic.items():
+                dst_id = self._nodes[dst_name].node_id
+                table[dst_id] = [self._port_index[(switch.name, hop)] for hop in next_hops]
+            switch.fib = table
+
+    # ------------------------------------------------------------------
+    # lookup helpers
+    # ------------------------------------------------------------------
+    def node(self, name: str) -> Union[Host, Switch]:
+        return self._nodes[name]
+
+    def host(self, name_or_id: Union[str, int]) -> Host:
+        if isinstance(name_or_id, int):
+            return self._host_by_id[name_or_id]
+        node = self._nodes[name_or_id]
+        if not isinstance(node, Host):
+            raise KeyError(f"{name_or_id!r} is not a host")
+        return node
+
+    def switch(self, name: str) -> Switch:
+        node = self._nodes[name]
+        if not isinstance(node, Switch):
+            raise KeyError(f"{name!r} is not a switch")
+        return node
+
+    def port_between(self, node_a: str, node_b: str) -> Port:
+        """The transmit port on ``node_a`` facing ``node_b``."""
+        node = self._nodes[node_a]
+        return node.ports[self._port_index[(node_a, node_b)]]
+
+    def fabric_ports(self) -> list[tuple[Switch, Port]]:
+        """All switch transmit ports facing other switches (directed fabric links)."""
+        out = []
+        for switch in self.switches:
+            for port in switch.ports:
+                if port.peer_node is not None and not port.peer_is_host:
+                    out.append((switch, port))
+        return out
+
+    # ------------------------------------------------------------------
+    # flows
+    # ------------------------------------------------------------------
+    def start_flow(
+        self,
+        src: Union[str, int],
+        dst: Union[str, int],
+        size: int,
+        transport: Union[str, TcpConfig, PFabricConfig] = "dctcp",
+        at: Optional[float] = None,
+        kind: str = "background",
+        flow_id: Optional[int] = None,
+    ) -> FlowHandle:
+        """Create a flow of ``size`` bytes and schedule its first burst.
+
+        ``transport`` may be one of the aliases ``"tcp"``, ``"dctcp"``,
+        ``"dibs"`` (DCTCP with fast retransmit disabled, the paper's DIBS
+        host setting), ``"pfabric"``, or an explicit config object.
+        """
+        if size <= 0:
+            raise ValueError("flow size must be positive")
+        src_host = self.host(src)
+        dst_host = self.host(dst)
+        if src_host is dst_host:
+            raise ValueError("flow endpoints must differ")
+
+        config = _TRANSPORT_ALIASES[transport]() if isinstance(transport, str) else transport
+        start = self.scheduler.now if at is None else at
+        if flow_id is None:
+            flow_id = self._next_flow_id
+        self._next_flow_id = max(self._next_flow_id, flow_id) + 1
+
+        flow = FlowHandle(flow_id, kind, src_host.node_id, dst_host.node_id, size, start)
+        if isinstance(config, PFabricConfig):
+            PFabricReceiver(dst_host, flow, config)
+            sender = PFabricSender(src_host, flow, config)
+        else:
+            TcpReceiver(dst_host, flow, config)
+            sender = TcpSender(src_host, flow, config)
+        self.collector.add_flow(flow)
+        if start <= self.scheduler.now:
+            sender.start()
+        else:
+            self.scheduler.schedule_at(start, sender.start)
+        return flow
+
+    def next_query_id(self) -> int:
+        qid = self._next_query_id
+        self._next_query_id += 1
+        return qid
+
+    # ------------------------------------------------------------------
+    # execution & aggregate accounting
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        return self.scheduler.run(until=until, max_events=max_events)
+
+    def total_detours(self) -> int:
+        return sum(sw.counters.detours for sw in self.switches)
+
+    def total_switch_drops(self) -> int:
+        return sum(sw.counters.drops for sw in self.switches)
+
+    def total_ecn_marks(self) -> int:
+        marks = 0
+        for switch in self.switches:
+            for port in switch.ports:
+                marks += getattr(port.queue, "marks", 0)
+        return marks
+
+    def drop_report(self) -> dict[str, int]:
+        """Drops by cause, network-wide (switch pipeline + host NICs +
+        pFabric in-queue evictions)."""
+        report = {
+            "overflow": 0,
+            "ttl_expired": 0,
+            "no_route": 0,
+            "no_detour_port": 0,
+            "host_nic": 0,
+            "pfabric_evictions": 0,
+            "ingress_overflow": 0,
+        }
+        for switch in self.switches:
+            c = switch.counters
+            report["overflow"] += c.drops_overflow
+            report["ttl_expired"] += c.drops_ttl
+            report["no_route"] += c.drops_no_route
+            report["no_detour_port"] += c.drops_no_detour
+            report["ingress_overflow"] += getattr(switch, "ingress_drops", 0)
+            for port in switch.ports:
+                report["pfabric_evictions"] += getattr(port.queue, "evictions", 0)
+        for host in self.hosts:
+            for port in host.ports:
+                report["host_nic"] += port.queue.drops
+        return report
+
+    def total_drops(self) -> int:
+        # "overflow" counts arrivals the queue rejected; pFabric evictions
+        # happen after acceptance (a resident is pushed out), so the two
+        # causes are disjoint and both count as lost packets.
+        report = self.drop_report()
+        return (
+            report["overflow"]
+            + report["ttl_expired"]
+            + report["no_route"]
+            + report["no_detour_port"]
+            + report["host_nic"]
+            + report["pfabric_evictions"]
+            + report["ingress_overflow"]
+        )

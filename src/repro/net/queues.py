@@ -1,0 +1,285 @@
+"""Output-port queue disciplines.
+
+Four disciplines cover everything the paper evaluates:
+
+* :class:`DropTailQueue` — fixed per-port FIFO measured in packets, the
+  default NS-3 configuration (Table 1: 100 packets per port).
+* :class:`EcnQueue` — droptail FIFO that additionally sets the ECN CE
+  codepoint on arriving ECN-capable packets once the instantaneous queue
+  length reaches the marking threshold K (DCTCP's single-threshold RED).
+* :class:`PFabricQueue` — the tiny (24-packet) priority queue of pFabric:
+  dequeues the highest-priority (smallest remaining flow size) packet and,
+  when full, evicts the lowest-priority resident to admit a better arrival.
+* :class:`DynamicBufferQueue` — a port queue drawing from a switch-wide
+  :class:`SharedBufferPool`, modelling Dynamic Buffer Allocation on shared
+  memory switches such as the Arista 7050QX (§5.5.2).
+
+All queues expose the same interface used by ports and switches:
+``enqueue(pkt) -> bool``, ``dequeue() -> Packet | None``, ``is_full()``,
+``__len__``, ``byte_count``, ``capacity_hint``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.net.packet import Packet
+
+__all__ = [
+    "DropTailQueue",
+    "EcnQueue",
+    "PFabricQueue",
+    "SharedBufferPool",
+    "DynamicBufferQueue",
+    "INFINITE_CAPACITY",
+]
+
+INFINITE_CAPACITY = 1 << 60
+
+
+class DropTailQueue:
+    """Fixed-capacity FIFO; arrivals beyond capacity are rejected.
+
+    ``capacity_pkts`` may be :data:`INFINITE_CAPACITY` to model the
+    infinite-buffer baseline of Figure 6.
+    """
+
+    __slots__ = ("capacity_pkts", "_q", "byte_count", "drops", "enqueues")
+
+    def __init__(self, capacity_pkts: int) -> None:
+        if capacity_pkts <= 0:
+            raise ValueError(f"queue capacity must be positive, got {capacity_pkts}")
+        self.capacity_pkts = capacity_pkts
+        self._q: deque[Packet] = deque()
+        self.byte_count = 0
+        self.drops = 0
+        self.enqueues = 0
+
+    def is_full(self) -> bool:
+        return len(self._q) >= self.capacity_pkts
+
+    def enqueue(self, pkt: Packet) -> bool:
+        if len(self._q) >= self.capacity_pkts:
+            self.drops += 1
+            return False
+        self._q.append(pkt)
+        self.byte_count += pkt.size
+        self.enqueues += 1
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        if not self._q:
+            return None
+        pkt = self._q.popleft()
+        self.byte_count -= pkt.size
+        return pkt
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    @property
+    def capacity_hint(self) -> int:
+        """Nominal packet capacity (used by occupancy metrics)."""
+        return self.capacity_pkts
+
+    def clear(self) -> None:
+        self._q.clear()
+        self.byte_count = 0
+
+
+class EcnQueue(DropTailQueue):
+    """Droptail FIFO with DCTCP-style instantaneous ECN marking.
+
+    An arriving ECN-capable packet gets its CE bit set when the queue
+    occupancy (including itself) exceeds ``mark_threshold_pkts`` — the
+    single-threshold marking of the DCTCP AQM.  Non-ECN packets are
+    unaffected (they are simply enqueued or dropped).
+    """
+
+    __slots__ = ("mark_threshold_pkts", "marks")
+
+    def __init__(self, capacity_pkts: int, mark_threshold_pkts: int) -> None:
+        super().__init__(capacity_pkts)
+        if mark_threshold_pkts <= 0:
+            raise ValueError("ECN mark threshold must be positive")
+        self.mark_threshold_pkts = mark_threshold_pkts
+        self.marks = 0
+
+    def enqueue(self, pkt: Packet) -> bool:
+        if len(self._q) >= self.capacity_pkts:
+            self.drops += 1
+            return False
+        if pkt.ecn_capable and len(self._q) + 1 > self.mark_threshold_pkts:
+            pkt.ecn_ce = True
+            self.marks += 1
+        self._q.append(pkt)
+        self.byte_count += pkt.size
+        self.enqueues += 1
+        return True
+
+
+class PFabricQueue:
+    """pFabric's shallow priority queue (Alizadeh et al., SIGCOMM 2013).
+
+    ``priority`` is the packet's remaining-flow-size tag; *smaller is
+    better*.  Dequeue returns the best-priority packet (FIFO among equals).
+    On overflow, if the arrival beats the currently worst resident, that
+    resident is evicted; otherwise the arrival is dropped.  Packets without
+    a priority tag are treated as worst-priority.
+    """
+
+    __slots__ = ("capacity_pkts", "_q", "byte_count", "drops", "enqueues", "evictions", "_seq")
+
+    def __init__(self, capacity_pkts: int = 24) -> None:
+        if capacity_pkts <= 0:
+            raise ValueError("queue capacity must be positive")
+        self.capacity_pkts = capacity_pkts
+        # Linear scan over <=24 packets is cheaper than a heap + lazy delete.
+        self._q: list[tuple[int, int, Packet]] = []  # (priority, seq, pkt)
+        self.byte_count = 0
+        self.drops = 0
+        self.enqueues = 0
+        self.evictions = 0
+        self._seq = 0
+
+    @staticmethod
+    def _prio(pkt: Packet) -> int:
+        return pkt.priority if pkt.priority is not None else 1 << 62
+
+    def is_full(self) -> bool:
+        return len(self._q) >= self.capacity_pkts
+
+    def enqueue(self, pkt: Packet) -> bool:
+        prio = self._prio(pkt)
+        if len(self._q) >= self.capacity_pkts:
+            # Find the worst resident (max priority; latest arrival breaks ties
+            # so we keep older packets of the same flow intact).
+            worst_idx = max(range(len(self._q)), key=lambda i: (self._q[i][0], self._q[i][1]))
+            if self._q[worst_idx][0] <= prio:
+                self.drops += 1
+                return False
+            evicted = self._q.pop(worst_idx)[2]
+            self.byte_count -= evicted.size
+            self.evictions += 1
+            self.drops += 1  # the evicted packet is a drop
+        self._q.append((prio, self._seq, pkt))
+        self._seq += 1
+        self.byte_count += pkt.size
+        self.enqueues += 1
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        if not self._q:
+            return None
+        best_idx = min(range(len(self._q)), key=lambda i: (self._q[i][0], self._q[i][1]))
+        pkt = self._q.pop(best_idx)[2]
+        self.byte_count -= pkt.size
+        return pkt
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    @property
+    def capacity_hint(self) -> int:
+        return self.capacity_pkts
+
+
+class SharedBufferPool:
+    """Switch-wide packet-memory pool for Dynamic Buffer Allocation.
+
+    Models the shared-memory architecture of §5.5.2: ports draw buffer space
+    from one pool; a port may keep growing its queue while (a) the pool has
+    free bytes and (b) its own occupancy stays below the DBA dynamic
+    threshold ``alpha * free_bytes``.  Each port also gets a small reserved
+    allotment so one hot port cannot deadlock the others.
+    """
+
+    __slots__ = ("total_bytes", "used_bytes", "alpha", "reserved_pkts_per_port")
+
+    def __init__(self, total_bytes: int, alpha: float = 1.0, reserved_pkts_per_port: int = 2) -> None:
+        if total_bytes <= 0:
+            raise ValueError("pool size must be positive")
+        self.total_bytes = total_bytes
+        self.used_bytes = 0
+        self.alpha = alpha
+        self.reserved_pkts_per_port = reserved_pkts_per_port
+
+    @property
+    def free_bytes(self) -> int:
+        return self.total_bytes - self.used_bytes
+
+    def admits(self, queue_bytes: int, pkt_size: int, queue_pkts: int) -> bool:
+        """DBA admission test for a port currently holding ``queue_bytes``."""
+        if queue_pkts < self.reserved_pkts_per_port:
+            return self.free_bytes >= pkt_size
+        if self.free_bytes < pkt_size:
+            return False
+        return queue_bytes + pkt_size <= self.alpha * self.free_bytes
+
+    def take(self, nbytes: int) -> None:
+        self.used_bytes += nbytes
+
+    def release(self, nbytes: int) -> None:
+        self.used_bytes -= nbytes
+        if self.used_bytes < 0:  # pragma: no cover - defensive
+            raise AssertionError("shared buffer pool accounting went negative")
+
+
+class DynamicBufferQueue:
+    """Per-port FIFO backed by a :class:`SharedBufferPool` (DBA switch).
+
+    Supports the same ECN marking as :class:`EcnQueue` when
+    ``mark_threshold_pkts`` is given.
+    """
+
+    __slots__ = ("pool", "_q", "byte_count", "drops", "enqueues", "marks", "mark_threshold_pkts")
+
+    def __init__(self, pool: SharedBufferPool, mark_threshold_pkts: Optional[int] = None) -> None:
+        self.pool = pool
+        self._q: deque[Packet] = deque()
+        self.byte_count = 0
+        self.drops = 0
+        self.enqueues = 0
+        self.marks = 0
+        self.mark_threshold_pkts = mark_threshold_pkts
+
+    def is_full(self) -> bool:
+        # "Full" for DIBS purposes means DBA would reject a full-MTU packet.
+        from repro.net.packet import MTU_BYTES
+
+        return not self.pool.admits(self.byte_count, MTU_BYTES, len(self._q))
+
+    def enqueue(self, pkt: Packet) -> bool:
+        if not self.pool.admits(self.byte_count, pkt.size, len(self._q)):
+            self.drops += 1
+            return False
+        if (
+            self.mark_threshold_pkts is not None
+            and pkt.ecn_capable
+            and len(self._q) + 1 > self.mark_threshold_pkts
+        ):
+            pkt.ecn_ce = True
+            self.marks += 1
+        self._q.append(pkt)
+        self.byte_count += pkt.size
+        self.pool.take(pkt.size)
+        self.enqueues += 1
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        if not self._q:
+            return None
+        pkt = self._q.popleft()
+        self.byte_count -= pkt.size
+        self.pool.release(pkt.size)
+        return pkt
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    @property
+    def capacity_hint(self) -> int:
+        from repro.net.packet import MTU_BYTES
+
+        return max(1, self.pool.total_bytes // MTU_BYTES)

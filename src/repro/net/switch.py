@@ -1,0 +1,208 @@
+"""Output-queued switch with FIB forwarding, flow-level ECMP, and DIBS.
+
+The forwarding pipeline mirrors the paper's description (§2, §4):
+
+1. decrement TTL; expire the packet if it hits zero (§5.5.3),
+2. look up the FIB entry for the destination host,
+3. pick one of the equal-cost next hops by a stable flow hash (ECMP),
+4. if the chosen output queue is full and DIBS is enabled, detour the
+   packet out of a random other switch-facing, non-full port;
+   if DIBS is disabled (or no eligible port exists) the packet is dropped.
+
+ECN marking happens inside the queue discipline (see
+:mod:`repro.net.queues`), so a detoured packet that lands in a long queue on
+the detour port is marked there — detoured packets carry congestion signals
+exactly like normally forwarded ones (§5.3: "The detoured packets are also
+marked").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+from repro.core.config import DibsConfig
+from repro.net.link import Port
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.sim.engine import Scheduler
+from repro.sim.rng import stable_hash
+
+__all__ = ["Switch", "SwitchCounters", "DROP_OVERFLOW", "DROP_TTL", "DROP_NO_ROUTE", "DROP_NO_DETOUR"]
+
+DROP_OVERFLOW = "overflow"
+DROP_TTL = "ttl_expired"
+DROP_NO_ROUTE = "no_route"
+DROP_NO_DETOUR = "no_detour_port"
+
+
+class SwitchCounters:
+    """Per-switch event counters consumed by the metrics layer."""
+
+    __slots__ = ("forwards", "detours", "drops_overflow", "drops_ttl", "drops_no_route", "drops_no_detour")
+
+    def __init__(self) -> None:
+        self.forwards = 0
+        self.detours = 0
+        self.drops_overflow = 0
+        self.drops_ttl = 0
+        self.drops_no_route = 0
+        self.drops_no_detour = 0
+
+    @property
+    def drops(self) -> int:
+        return self.drops_overflow + self.drops_ttl + self.drops_no_route + self.drops_no_detour
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "forwards": self.forwards,
+            "detours": self.detours,
+            "drops_overflow": self.drops_overflow,
+            "drops_ttl": self.drops_ttl,
+            "drops_no_route": self.drops_no_route,
+            "drops_no_detour": self.drops_no_detour,
+        }
+
+
+class Switch(Node):
+    """An output-queued switch.
+
+    Parameters
+    ----------
+    dibs:
+        DIBS configuration; ``DibsConfig.disabled()`` gives a stock switch.
+    rng:
+        Random stream for detour choices (and nothing else, so toggling
+        DIBS does not perturb other randomness).
+    on_detour / on_drop:
+        Optional trace callbacks ``(time, switch, packet[, reason])`` used
+        by the anatomy examples (Figures 1–2).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        name: str,
+        scheduler: Scheduler,
+        dibs: Optional[DibsConfig] = None,
+        rng: Optional[random.Random] = None,
+        ecmp_mode: str = "flow",
+    ) -> None:
+        super().__init__(node_id, name, scheduler)
+        if ecmp_mode not in ("flow", "packet"):
+            raise ValueError(f"ecmp_mode must be 'flow' or 'packet', got {ecmp_mode!r}")
+        self.dibs = dibs if dibs is not None else DibsConfig.disabled()
+        self.rng = rng if rng is not None else random.Random(stable_hash(name))
+        self.ecmp_mode = ecmp_mode
+        self._spray_counter = 0
+        self.fib: dict[int, list[int]] = {}
+        self.counters = SwitchCounters()
+        self.on_detour: Optional[Callable[[float, "Switch", Packet], None]] = None
+        self.on_drop: Optional[Callable[[float, "Switch", Packet, str], None]] = None
+
+    # ------------------------------------------------------------------
+    # forwarding
+    # ------------------------------------------------------------------
+    def receive(self, pkt: Packet, in_port: int) -> None:
+        pkt.hops += 1
+        if pkt.path is not None:
+            pkt.path.append(self.name)
+
+        pkt.ttl -= 1
+        if pkt.ttl <= 0:
+            self._drop(pkt, DROP_TTL)
+            return
+
+        next_hops = self.fib.get(pkt.dst)
+        if not next_hops:
+            self._drop(pkt, DROP_NO_ROUTE)
+            return
+
+        if len(next_hops) == 1:
+            out_index = next_hops[0]
+        elif self.ecmp_mode == "flow":
+            out_index = next_hops[stable_hash(pkt.flow_id, self.node_id) % len(next_hops)]
+        else:
+            # Packet-level ECMP ("packet spraying", §6): round-robin over
+            # equal-cost ports.  Spreads load finer than flow hashing but
+            # cannot help last-hop incast, which is the paper's point.
+            self._spray_counter += 1
+            out_index = next_hops[self._spray_counter % len(next_hops)]
+        desired = self.ports[out_index]
+
+        if self.dibs.enabled and self.dibs.policy.should_detour(pkt, desired, self.rng):
+            self._detour(pkt, desired, in_port)
+            return
+
+        if desired.send(pkt):
+            self.counters.forwards += 1
+        else:
+            self._drop(pkt, DROP_OVERFLOW)
+
+    # ------------------------------------------------------------------
+    # DIBS
+    # ------------------------------------------------------------------
+    def detour_candidates(self, desired: Port, in_port: int) -> list[Port]:
+        """Eligible detour ports per §2: connected, switch-facing, not full,
+        and not the desired port itself."""
+        allow_ingress = self.dibs.allow_detour_to_ingress
+        candidates = []
+        for port in self.ports:
+            if port is desired or port.peer_node is None or port.peer_is_host:
+                continue
+            if not allow_ingress and port.index == in_port:
+                continue
+            if port.queue.is_full():
+                continue
+            candidates.append(port)
+        return candidates
+
+    def _detour(self, pkt: Packet, desired: Port, in_port: int) -> None:
+        cap = self.dibs.max_detours_per_packet
+        if cap and pkt.detours >= cap:
+            self._drop(pkt, DROP_NO_DETOUR)
+            return
+        candidates = self.detour_candidates(desired, in_port)
+        choice = self.dibs.policy.choose(pkt, desired, candidates, self.rng)
+        if choice is None:
+            # Every neighbor is also full: the virtual buffer is exhausted
+            # here and the packet is dropped, as it would be without DIBS.
+            self._drop(pkt, DROP_NO_DETOUR)
+            return
+        pkt.detours += 1
+        self.counters.detours += 1
+        if self.on_detour is not None:
+            self.on_detour(self.scheduler.now, self, pkt)
+        sent = choice.send(pkt)
+        # Candidates were filtered to non-full queues and nothing can run
+        # between the check and the send in a discrete-event world.
+        assert sent, "detour port rejected a packet that fit at selection time"
+        self.counters.forwards += 1
+
+    # ------------------------------------------------------------------
+    def _drop(self, pkt: Packet, reason: str) -> None:
+        if reason == DROP_TTL:
+            self.counters.drops_ttl += 1
+        elif reason == DROP_NO_ROUTE:
+            self.counters.drops_no_route += 1
+        elif reason == DROP_NO_DETOUR:
+            self.counters.drops_no_detour += 1
+        else:
+            self.counters.drops_overflow += 1
+        if self.on_drop is not None:
+            self.on_drop(self.scheduler.now, self, pkt, reason)
+
+    # ------------------------------------------------------------------
+    # introspection helpers (metrics / tests)
+    # ------------------------------------------------------------------
+    def queue_occupancy(self) -> list[int]:
+        """Per-port queue lengths in packets."""
+        return [len(port.queue) for port in self.ports]
+
+    def buffer_fill_fraction(self) -> float:
+        """Occupied fraction of this switch's total nominal buffering."""
+        total = sum(port.queue.capacity_hint for port in self.ports)
+        if total == 0:
+            return 0.0
+        used = sum(len(port.queue) for port in self.ports)
+        return used / total

@@ -1,0 +1,5 @@
+"""Shortest-path FIB computation with ECMP next-hop sets."""
+
+from repro.routing.fib import compute_fibs, shortest_path_lengths
+
+__all__ = ["compute_fibs", "shortest_path_lengths"]

@@ -1,0 +1,63 @@
+"""Forwarding-table computation.
+
+§3 of the paper assumes FIB-based forwarding (no spanning tree): each switch
+holds, per destination host, the set of neighbors on shortest paths, and
+picks among them with flow-level ECMP.  A centralized controller (or OSPF)
+would compute the same tables; we compute them directly with one BFS per
+destination host, which is exact all-shortest-path routing.
+
+The output is symbolic (names, not ports); :mod:`repro.net.network`
+translates neighbor names into port indices when it instantiates switches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.topo.base import Topology
+
+__all__ = ["compute_fibs", "shortest_path_lengths"]
+
+
+def compute_fibs(topo: Topology) -> dict[str, dict[str, list[str]]]:
+    """Compute ``fib[switch][dst_host] -> sorted list of next-hop names``.
+
+    Every entry lists *all* shortest-path next hops, so ECMP fan-out falls
+    out for free.  Hosts get no FIB (they only talk to their edge switch).
+    """
+    adj = topo.adjacency()
+    switch_names = set(topo.switches)
+    fibs: dict[str, dict[str, list[str]]] = {name: {} for name in topo.switches}
+
+    for dst in topo.hosts:
+        dist = _bfs_distances(adj, dst)
+        for switch in topo.switches:
+            d = dist.get(switch)
+            if d is None:
+                continue
+            next_hops = [
+                nbr
+                for nbr in adj[switch]
+                if dist.get(nbr, -1) == d - 1 and (nbr in switch_names or nbr == dst)
+            ]
+            if next_hops:
+                fibs[switch][dst] = sorted(next_hops)
+    return fibs
+
+
+def shortest_path_lengths(topo: Topology, src: str) -> dict[str, int]:
+    """Hop distance from ``src`` to every reachable node (testing aid)."""
+    return _bfs_distances(topo.adjacency(), src)
+
+
+def _bfs_distances(adj: dict[str, list[str]], start: str) -> dict[str, int]:
+    dist = {start: 0}
+    frontier = deque([start])
+    while frontier:
+        node = frontier.popleft()
+        base = dist[node]
+        for nbr in adj[node]:
+            if nbr not in dist:
+                dist[nbr] = base + 1
+                frontier.append(nbr)
+    return dist

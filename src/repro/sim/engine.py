@@ -1,0 +1,170 @@
+"""Discrete-event simulation engine.
+
+The engine is a classic calendar of timestamped events backed by a binary
+heap.  Everything else in the simulator (links, switches, transports,
+workload generators) schedules callbacks on a single :class:`Scheduler`.
+
+Design notes
+------------
+* Time is a float, in **seconds** of simulated time.
+* Events scheduled for the same timestamp fire in FIFO order of scheduling
+  (a monotonically increasing sequence number breaks heap ties), which makes
+  runs fully deterministic.
+* Cancellation is O(1): the event is flagged and skipped when popped.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "Scheduler", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on scheduler misuse (e.g. scheduling into the past)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`Scheduler.schedule` /
+    :meth:`Scheduler.schedule_at` and can be cancelled via
+    :meth:`Scheduler.cancel` (or :meth:`Event.cancel`).
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark this event so the scheduler skips it."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.9f} seq={self.seq} {state} fn={getattr(self.fn, '__qualname__', self.fn)}>"
+
+
+class Scheduler:
+    """Single-threaded discrete-event scheduler.
+
+    Usage::
+
+        sched = Scheduler()
+        sched.schedule(1e-3, callback, arg1, arg2)
+        sched.run(until=1.0)
+    """
+
+    __slots__ = ("now", "_heap", "_seq", "_events_processed", "_running")
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[Event] = []
+        self._seq: int = 0
+        self._events_processed: int = 0
+        self._running: bool = False
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule into the past: {time} < {self.now}")
+        ev = Event(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    @staticmethod
+    def cancel(event: Optional[Event]) -> None:
+        """Cancel a previously scheduled event (no-op on ``None``)."""
+        if event is not None:
+            event.cancelled = True
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events until the heap drains, ``until`` is passed, or
+        ``max_events`` have been processed.  Returns events processed.
+        """
+        if self._running:
+            raise SimulationError("scheduler is already running (re-entrant run())")
+        self._running = True
+        processed = 0
+        heap = self._heap
+        try:
+            while heap:
+                ev = heap[0]
+                if until is not None and ev.time > until:
+                    break
+                heapq.heappop(heap)
+                if ev.cancelled:
+                    continue
+                self.now = ev.time
+                ev.fn(*ev.args)
+                processed += 1
+                self._events_processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and self.now < until and (max_events is None or processed < max_events):
+            # Advance the clock to the requested horizon even if we ran dry.
+            self.now = until
+        return processed
+
+    def step(self) -> bool:
+        """Process a single event.  Returns ``False`` when the heap is empty."""
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)
+            if ev.cancelled:
+                continue
+            self.now = ev.time
+            ev.fn(*ev.args)
+            self._events_processed += 1
+            return True
+        return False
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next pending event, or ``None`` if idle."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    @property
+    def events_processed(self) -> int:
+        """Total events executed over the scheduler's lifetime."""
+        return self._events_processed
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero."""
+        self._heap.clear()
+        self.now = 0.0
+        self._seq = 0
+        self._events_processed = 0

@@ -1,0 +1,19 @@
+"""Data center topologies."""
+
+from repro.topo.base import LinkSpec, Topology
+from repro.topo.fattree import fat_tree, fat_tree_stats
+from repro.topo.hyperx import hyperx
+from repro.topo.misc import jellyfish, leaf_spine, linear
+from repro.topo.testbed import click_testbed
+
+__all__ = [
+    "LinkSpec",
+    "Topology",
+    "fat_tree",
+    "fat_tree_stats",
+    "hyperx",
+    "click_testbed",
+    "leaf_spine",
+    "linear",
+    "jellyfish",
+]

@@ -1,0 +1,79 @@
+"""K-ary fat-tree topology (Al-Fares et al., SIGCOMM 2008).
+
+The paper's main simulations use K=8 (128 hosts, 1 Gbps links); our scaled
+default experiments use K=4 (16 hosts).  §5.5.4 studies oversubscription by
+"lowering the capacity of the links between switches by a factor of 2, 3
+and 4 (providing oversubscription of 1:4, 1:9 and 1:16)" — reproduced here
+via ``inter_switch_slowdown``.
+"""
+
+from __future__ import annotations
+
+from repro.topo.base import Topology
+
+__all__ = ["fat_tree", "fat_tree_stats"]
+
+
+def fat_tree(
+    k: int = 4,
+    rate_bps: float = 1e9,
+    delay_s: float = 5e-6,
+    inter_switch_slowdown: float = 1.0,
+) -> Topology:
+    """Build a K-ary fat-tree.
+
+    Parameters
+    ----------
+    k:
+        Arity; must be even.  Yields ``k`` pods, ``k/2`` edge and ``k/2``
+        aggregation switches per pod, ``(k/2)^2`` core switches and
+        ``k^3/4`` hosts.
+    rate_bps, delay_s:
+        Host link rate and per-link propagation delay.
+    inter_switch_slowdown:
+        Divide switch-to-switch link rates by this factor (1 = rearrangeably
+        non-blocking; 2/3/4 = 1:4 / 1:9 / 1:16 oversubscription per §5.5.4).
+    """
+    if k < 2 or k % 2:
+        raise ValueError(f"fat-tree arity must be even and >= 2, got k={k}")
+    if inter_switch_slowdown < 1.0:
+        raise ValueError("inter_switch_slowdown must be >= 1")
+
+    topo = Topology(name=f"fattree-k{k}")
+    half = k // 2
+    fabric_rate = rate_bps / inter_switch_slowdown
+
+    core = [topo.add_switch(f"core_{i}") for i in range(half * half)]
+    for pod in range(k):
+        edges = [topo.add_switch(f"edge_{pod}_{i}") for i in range(half)]
+        aggs = [topo.add_switch(f"agg_{pod}_{i}") for i in range(half)]
+        # Hosts: k/2 per edge switch.
+        for e_idx, edge in enumerate(edges):
+            for h in range(half):
+                host = topo.add_host(f"host_{pod * half * half + e_idx * half + h}")
+                topo.add_link(host, edge, rate_bps, delay_s)
+        # Edge <-> aggregation: full bipartite within the pod.
+        for edge in edges:
+            for agg in aggs:
+                topo.add_link(edge, agg, fabric_rate, delay_s)
+        # Aggregation <-> core: agg i connects to core group i.
+        for a_idx, agg in enumerate(aggs):
+            for c in range(half):
+                topo.add_link(agg, core[a_idx * half + c], fabric_rate, delay_s)
+
+    topo.validate()
+    return topo
+
+
+def fat_tree_stats(k: int) -> dict[str, int]:
+    """Closed-form size of a K-ary fat-tree (used by tests)."""
+    half = k // 2
+    return {
+        "hosts": k * half * half,
+        "edge_switches": k * half,
+        "agg_switches": k * half,
+        "core_switches": half * half,
+        "switches": 2 * k * half + half * half,
+        "links": k * half * half + k * half * half + k * half * half,
+        "diameter": 6,
+    }

@@ -1,0 +1,57 @@
+"""HyperX topology (Ahn et al., SC 2009), discussed in §7.
+
+A regular HyperX is an L-dimensional lattice of switches, S_k switches per
+dimension, where a switch connects directly to *every* other switch that
+differs from it in exactly one coordinate.  The paper calls out HyperX as
+detour-friendly: "HyperX networks have many paths of different lengths
+between pairs of hosts.  One can imagine using the short paths under normal
+conditions, but using detouring to exploit the larger path diversity when
+conditions warranted."
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.topo.base import Topology
+
+__all__ = ["hyperx"]
+
+
+def hyperx(
+    shape: tuple[int, ...] = (3, 3),
+    hosts_per_switch: int = 1,
+    rate_bps: float = 1e9,
+    delay_s: float = 5e-6,
+) -> Topology:
+    """Build a regular HyperX with the given lattice ``shape``.
+
+    ``shape=(3, 3)`` gives 9 switches each with 4 fabric neighbors (2 per
+    dimension); ``shape=(4,)`` degenerates to a 4-switch full mesh.
+    """
+    if not shape or any(s < 2 for s in shape):
+        raise ValueError("each HyperX dimension must have at least 2 switches")
+    if hosts_per_switch < 0:
+        raise ValueError("hosts_per_switch cannot be negative")
+
+    topo = Topology(name="hyperx-" + "x".join(str(s) for s in shape))
+    coords = list(itertools.product(*(range(s) for s in shape)))
+    names = {c: topo.add_switch("sw_" + "_".join(str(x) for x in c)) for c in coords}
+
+    # Connect switches differing in exactly one coordinate (each dimension
+    # is a clique).  Emit each link once via an ordering test.
+    for c in coords:
+        for dim in range(len(shape)):
+            for other_val in range(c[dim] + 1, shape[dim]):
+                other = c[:dim] + (other_val,) + c[dim + 1:]
+                topo.add_link(names[c], names[other], rate_bps, delay_s)
+
+    host_idx = 0
+    for c in coords:
+        for _ in range(hosts_per_switch):
+            host = topo.add_host(f"host_{host_idx}")
+            topo.add_link(host, names[c], rate_bps, delay_s)
+            host_idx += 1
+
+    topo.validate()
+    return topo

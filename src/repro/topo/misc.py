@@ -1,0 +1,133 @@
+"""Additional topologies discussed by the paper.
+
+* :func:`leaf_spine` — the common two-tier Clos; used in tests and as an
+  extra example scenario.
+* :func:`linear` — the degenerate chain of §7 footnote 10: DIBS still
+  functions with only a reverse path to detour onto.
+* :func:`jellyfish` — random regular switch graph (Singla et al.), named in
+  §7 as a topology whose path diversity suits detouring.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sim.rng import stable_hash
+from repro.topo.base import Topology
+
+__all__ = ["leaf_spine", "linear", "jellyfish"]
+
+
+def leaf_spine(
+    leaves: int = 4,
+    spines: int = 2,
+    hosts_per_leaf: int = 4,
+    rate_bps: float = 1e9,
+    delay_s: float = 5e-6,
+) -> Topology:
+    """Two-tier leaf–spine fabric; every leaf connects to every spine."""
+    if leaves < 1 or spines < 1 or hosts_per_leaf < 1:
+        raise ValueError("leaf-spine dimensions must be positive")
+    topo = Topology(name=f"leafspine-{leaves}x{spines}")
+    spine_names = [topo.add_switch(f"spine_{s}") for s in range(spines)]
+    for l_idx in range(leaves):
+        leaf = topo.add_switch(f"leaf_{l_idx}")
+        for spine in spine_names:
+            topo.add_link(leaf, spine, rate_bps, delay_s)
+        for h in range(hosts_per_leaf):
+            host = topo.add_host(f"host_{l_idx * hosts_per_leaf + h}")
+            topo.add_link(host, leaf, rate_bps, delay_s)
+    topo.validate()
+    return topo
+
+
+def linear(
+    switches: int = 3,
+    hosts_per_switch: int = 1,
+    rate_bps: float = 1e9,
+    delay_s: float = 5e-6,
+) -> Topology:
+    """A chain of switches — the worst case for detouring (§7): the only
+    detour options are backwards along the chain."""
+    if switches < 1:
+        raise ValueError("need at least one switch")
+    topo = Topology(name=f"linear-{switches}")
+    names = [topo.add_switch(f"sw_{i}") for i in range(switches)]
+    for a, b in zip(names, names[1:]):
+        topo.add_link(a, b, rate_bps, delay_s)
+    for s_idx, sw in enumerate(names):
+        for h in range(hosts_per_switch):
+            host = topo.add_host(f"host_{s_idx * hosts_per_switch + h}")
+            topo.add_link(host, sw, rate_bps, delay_s)
+    topo.validate()
+    return topo
+
+
+def jellyfish(
+    switches: int = 10,
+    fabric_degree: int = 3,
+    hosts_per_switch: int = 1,
+    rate_bps: float = 1e9,
+    delay_s: float = 5e-6,
+    seed: int = 0,
+) -> Topology:
+    """Jellyfish: switches wired into a random ``fabric_degree``-regular
+    graph, each with ``hosts_per_switch`` servers.
+
+    Uses the stub-matching construction with restarts; raises after too many
+    failed attempts (e.g. infeasible degree).
+    """
+    if switches * fabric_degree % 2:
+        raise ValueError("switches * fabric_degree must be even")
+    if fabric_degree >= switches:
+        raise ValueError("fabric_degree must be < number of switches")
+
+    rng = random.Random(stable_hash(seed, "jellyfish"))
+    for _attempt in range(200):
+        edges = _random_regular_edges(switches, fabric_degree, rng)
+        if edges is not None and _connected(switches, edges):
+            break
+    else:
+        raise RuntimeError("failed to build a connected random regular graph")
+
+    topo = Topology(name=f"jellyfish-{switches}x{fabric_degree}")
+    names = [topo.add_switch(f"sw_{i}") for i in range(switches)]
+    for a, b in sorted(edges):
+        topo.add_link(names[a], names[b], rate_bps, delay_s)
+    for s_idx, sw in enumerate(names):
+        for h in range(hosts_per_switch):
+            host = topo.add_host(f"host_{s_idx * hosts_per_switch + h}")
+            topo.add_link(host, sw, rate_bps, delay_s)
+    topo.validate()
+    return topo
+
+
+def _random_regular_edges(n: int, d: int, rng: random.Random) -> set[tuple[int, int]] | None:
+    """One stub-matching attempt; ``None`` if it wedges on a repeat/self edge."""
+    stubs = [v for v in range(n) for _ in range(d)]
+    rng.shuffle(stubs)
+    edges: set[tuple[int, int]] = set()
+    for a, b in zip(stubs[::2], stubs[1::2]):
+        if a == b:
+            return None
+        edge = (min(a, b), max(a, b))
+        if edge in edges:
+            return None
+        edges.add(edge)
+    return edges
+
+
+def _connected(n: int, edges: set[tuple[int, int]]) -> bool:
+    adj: dict[int, list[int]] = {v: [] for v in range(n)}
+    for a, b in edges:
+        adj[a].append(b)
+        adj[b].append(a)
+    seen = {0}
+    stack = [0]
+    while stack:
+        node = stack.pop()
+        for nbr in adj[node]:
+            if nbr not in seen:
+                seen.add(nbr)
+                stack.append(nbr)
+    return len(seen) == n

@@ -1,0 +1,28 @@
+"""The Emulab/Click testbed topology of §5.2.
+
+"Our testbed was a small FatTree topology with two aggregator switches,
+three edge switches, and two servers per rack" — six servers, every edge
+switch linked to both aggregation switches, 1 Gbps everywhere (Table 1).
+Figure 6's incast experiment runs five senders against the last server.
+"""
+
+from __future__ import annotations
+
+from repro.topo.base import Topology
+
+__all__ = ["click_testbed"]
+
+
+def click_testbed(rate_bps: float = 1e9, delay_s: float = 25e-6) -> Topology:
+    """Build the 5-switch, 6-server Click evaluation topology."""
+    topo = Topology(name="click-testbed")
+    aggs = [topo.add_switch(f"agg_{i}") for i in range(2)]
+    for e in range(3):
+        edge = topo.add_switch(f"edge_{e}")
+        for agg in aggs:
+            topo.add_link(edge, agg, rate_bps, delay_s)
+        for h in range(2):
+            host = topo.add_host(f"host_{e * 2 + h}")
+            topo.add_link(host, edge, rate_bps, delay_s)
+    topo.validate()
+    return topo

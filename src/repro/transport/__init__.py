@@ -1,0 +1,21 @@
+"""Transport protocols: TCP/NewReno, DCTCP, and pFabric."""
+
+from repro.transport.base import FlowHandle, TcpConfig, dctcp_config, dibs_host_config
+from repro.transport.mptcp import MptcpConfig, MptcpFlow, start_mptcp_flow
+from repro.transport.pfabric import PFabricConfig, PFabricReceiver, PFabricSender
+from repro.transport.tcp import TcpReceiver, TcpSender
+
+__all__ = [
+    "FlowHandle",
+    "TcpConfig",
+    "dctcp_config",
+    "dibs_host_config",
+    "TcpSender",
+    "TcpReceiver",
+    "PFabricConfig",
+    "PFabricSender",
+    "PFabricReceiver",
+    "MptcpConfig",
+    "MptcpFlow",
+    "start_mptcp_flow",
+]

@@ -1,0 +1,179 @@
+"""Transport-layer plumbing shared by TCP, DCTCP, and pFabric endpoints.
+
+A *flow* is one-directional bulk transfer of ``size`` bytes from a sender
+host to a receiver host.  The sender paces DATA segments under a window;
+the receiver returns one cumulative ACK per arriving segment (echoing the
+segment's CE mark, as DCTCP requires).  Flow completion — the quantity the
+paper measures — is recorded when the *receiver* holds every byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.net.packet import DEFAULT_TTL, MSS_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+
+__all__ = ["TcpConfig", "FlowHandle"]
+
+
+@dataclass(frozen=True)
+class TcpConfig:
+    """Host TCP stack parameters (Table 1 defaults).
+
+    Attributes
+    ----------
+    mss:
+        Payload bytes per full segment (1460 with a 1500-byte MTU).
+    init_cwnd_pkts:
+        Initial congestion window, in segments (Table 1: 10).
+    min_rto / max_rto:
+        Bounds on the retransmission timer (Table 1: minRTO 10 ms).
+    fast_retransmit_threshold:
+        Dup-ACK count that triggers fast retransmit.  ``None`` disables
+        fast retransmit entirely — the paper's DIBS configuration (§4).
+        §4 also notes a threshold >= 10 tolerates DIBS reordering; the
+        ablation bench exercises that.
+    ecn / dctcp:
+        ``ecn`` makes data packets ECN-capable.  ``dctcp`` additionally
+        runs the DCTCP alpha estimator and fractional window reduction
+        (``ecn`` is implied).  With ``ecn`` but not ``dctcp`` the sender
+        halves once per window on ECN-Echo (classic RFC 3168).
+    dctcp_g:
+        DCTCP's alpha EWMA gain (paper value 1/16).
+    ttl:
+        Initial TTL stamped on data packets (§5.5.3 varies this).
+    max_cwnd_pkts:
+        Safety cap on the window.
+    delayed_ack_segments / delayed_ack_timeout:
+        ``1`` (default) acknowledges every data segment.  ``2`` is the
+        standard delayed-ACK (and the DCTCP paper's receiver): one
+        cumulative ACK per two segments, flushed early by a short timer,
+        by out-of-order arrivals (so dup-ACKs stay per-packet), and by a
+        change in the CE marking state (DCTCP's state machine, so the
+        sender's alpha estimate stays accurate).
+    """
+
+    mss: int = MSS_BYTES
+    init_cwnd_pkts: int = 10
+    min_rto: float = 0.010
+    max_rto: float = 2.0
+    fast_retransmit_threshold: Optional[int] = 3
+    ecn: bool = False
+    dctcp: bool = False
+    dctcp_g: float = 1.0 / 16.0
+    ttl: int = DEFAULT_TTL
+    max_cwnd_pkts: int = 1 << 16
+    delayed_ack_segments: int = 1
+    delayed_ack_timeout: float = 500e-6
+    # Selective acknowledgements: the receiver advertises up to 3
+    # out-of-order blocks and the sender retransmits only real holes —
+    # the reordering-robust recovery the paper's [54] (RR-TCP) points at.
+    sack: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mss <= 0:
+            raise ValueError("mss must be positive")
+        if self.init_cwnd_pkts <= 0:
+            raise ValueError("initial window must be positive")
+        if self.min_rto <= 0 or self.max_rto < self.min_rto:
+            raise ValueError("need 0 < min_rto <= max_rto")
+        if not 0.0 < self.dctcp_g <= 1.0:
+            raise ValueError("dctcp_g must be in (0, 1]")
+        if self.fast_retransmit_threshold is not None and self.fast_retransmit_threshold < 1:
+            raise ValueError("fast retransmit threshold must be >= 1 or None")
+        if self.delayed_ack_segments < 1:
+            raise ValueError("delayed_ack_segments must be >= 1")
+        if self.delayed_ack_timeout <= 0:
+            raise ValueError("delayed_ack_timeout must be positive")
+
+    @property
+    def ecn_capable(self) -> bool:
+        return self.ecn or self.dctcp
+
+    def with_overrides(self, **kwargs) -> "TcpConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+def dctcp_config(**overrides) -> TcpConfig:
+    """Table 1 DCTCP host configuration (fast retransmit on)."""
+    base = TcpConfig(dctcp=True, ecn=True)
+    return base.with_overrides(**overrides) if overrides else base
+
+
+def dibs_host_config(**overrides) -> TcpConfig:
+    """DCTCP host configuration as used with DIBS: fast retransmit
+    disabled so detour-induced reordering is not mistaken for loss (§4)."""
+    base = TcpConfig(dctcp=True, ecn=True, fast_retransmit_threshold=None)
+    return base.with_overrides(**overrides) if overrides else base
+
+
+class FlowHandle:
+    """Book-keeping shared by a flow's two endpoints and the metrics layer."""
+
+    __slots__ = (
+        "flow_id",
+        "kind",
+        "src",
+        "dst",
+        "size",
+        "start_time",
+        "sender_done_time",
+        "receiver_done_time",
+        "retransmits",
+        "timeouts",
+        "packets_sent",
+        "packets_received",
+        "acks_sent",
+        "acks_received",
+        "marked_acks",
+        "bytes_received",
+        "on_complete",
+    )
+
+    def __init__(self, flow_id: int, kind: str, src: int, dst: int, size: int, start_time: float) -> None:
+        self.flow_id = flow_id
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.start_time = start_time
+        self.sender_done_time: Optional[float] = None
+        self.receiver_done_time: Optional[float] = None
+        self.retransmits = 0
+        self.timeouts = 0
+        self.packets_sent = 0
+        self.packets_received = 0
+        self.acks_sent = 0
+        self.acks_received = 0
+        self.marked_acks = 0
+        self.bytes_received = 0  # in-order bytes held by the receiver
+        self.on_complete: Optional[Callable[["FlowHandle"], None]] = None
+
+    @property
+    def completed(self) -> bool:
+        return self.receiver_done_time is not None
+
+    @property
+    def fct(self) -> Optional[float]:
+        """Receiver-side flow completion time, the paper's FCT metric."""
+        if self.receiver_done_time is None:
+            return None
+        return self.receiver_done_time - self.start_time
+
+    def mark_received_all(self, now: float) -> None:
+        if self.receiver_done_time is None:
+            self.receiver_done_time = now
+            if self.on_complete is not None:
+                self.on_complete(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"done fct={self.fct:.6f}" if self.completed else "active"
+        return f"<Flow {self.flow_id} {self.kind} {self.src}->{self.dst} {self.size}B {state}>"
+
+
+__all__ += ["dctcp_config", "dibs_host_config"]

@@ -1,0 +1,179 @@
+"""Multipath TCP (§6: "DIBS can co-exist with MPTCP").
+
+A deliberately compact MPTCP model sufficient for the coexistence claim:
+
+* a flow is split into ``subflows`` contiguous byte ranges, each carried by
+  its own TCP connection with its own flow id — flow-level ECMP therefore
+  hashes the subflows onto (usually) different fabric paths, which is the
+  load-spreading MPTCP exists for;
+* subflows run the normal :class:`~repro.transport.tcp.TcpSender` machinery
+  (so DCTCP marking, DIBS host settings, etc. all apply per subflow);
+* congestion control may be *coupled* with the Linked-Increases Algorithm
+  (LIA, RFC 6356): the per-ACK congestion-avoidance increase of subflow i
+  is ``min(alpha * bytes / cwnd_total, bytes / cwnd_i)`` with
+  ``alpha = cwnd_total * max_i(cwnd_i / rtt_i^2) / (sum_i cwnd_i/rtt_i)^2``
+  so the aggregate is no more aggressive than one TCP on the best path.
+
+Not modelled (documented simplifications): dynamic (re)scheduling of data
+across subflows, subflow establishment handshakes, and DSS-level
+reinjection — the byte ranges are fixed up front, so a dead path stalls
+its range until that subflow's own RTO recovers it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.host import Host
+from repro.transport.base import FlowHandle, TcpConfig
+from repro.transport.tcp import TcpReceiver, TcpSender
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+
+__all__ = ["MptcpConfig", "MptcpFlow", "start_mptcp_flow", "SUBFLOW_KIND"]
+
+SUBFLOW_KIND = "mptcp-subflow"
+
+
+@dataclass(frozen=True)
+class MptcpConfig:
+    """MPTCP parameters: a host TCP config plus the subflow count."""
+
+    subflows: int = 2
+    coupled: bool = True
+    tcp: TcpConfig = TcpConfig()
+
+    def __post_init__(self) -> None:
+        if self.subflows < 1:
+            raise ValueError("need at least one subflow")
+
+
+class _CoupledState:
+    """Shared LIA state across one connection's subflow senders."""
+
+    def __init__(self) -> None:
+        self.senders: list["_SubflowSender"] = []
+
+    def total_cwnd(self) -> float:
+        return sum(s.cwnd for s in self.senders if not s.done)
+
+    def lia_alpha(self) -> float:
+        """RFC 6356's aggressiveness factor (1 subflow -> 1.0)."""
+        best = 0.0
+        denom = 0.0
+        for s in self.senders:
+            if s.done:
+                continue
+            rtt = s.srtt if s.srtt is not None else s.config.min_rto
+            best = max(best, s.cwnd / (rtt * rtt))
+            denom += s.cwnd / rtt
+        if denom == 0:
+            return 1.0
+        return self.total_cwnd() * best / (denom * denom)
+
+
+class _SubflowSender(TcpSender):
+    """A TcpSender whose congestion-avoidance growth is LIA-coupled."""
+
+    __slots__ = ("shared",)
+
+    def __init__(self, host: Host, flow: FlowHandle, config: TcpConfig, shared: Optional[_CoupledState]):
+        super().__init__(host, flow, config)
+        self.shared = shared
+        if shared is not None:
+            shared.senders.append(self)
+
+    def _grow_cwnd(self, acked_bytes: int) -> None:
+        if self.shared is None or self.cwnd < self.ssthresh:
+            # Slow start stays per-subflow, as in RFC 6356.
+            super()._grow_cwnd(acked_bytes)
+            return
+        cfg = self.config
+        total = self.shared.total_cwnd()
+        if total <= 0:
+            super()._grow_cwnd(acked_bytes)
+            return
+        alpha = self.shared.lia_alpha()
+        coupled = alpha * cfg.mss * acked_bytes / total
+        solo = cfg.mss * acked_bytes / self.cwnd
+        self.cwnd = min(self.cwnd + min(coupled, solo), float(cfg.max_cwnd_pkts * cfg.mss))
+
+
+class MptcpFlow:
+    """A multipath connection: the parent handle plus its subflows."""
+
+    def __init__(self, parent: FlowHandle, children: list[FlowHandle]) -> None:
+        self.parent = parent
+        self.children = children
+        self._remaining = len(children)
+        for child in children:
+            child.on_complete = self._child_done
+
+    def _child_done(self, child: FlowHandle) -> None:
+        self.parent.bytes_received = sum(c.bytes_received for c in self.children)
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.parent.mark_received_all(max(c.receiver_done_time for c in self.children))
+
+    @property
+    def completed(self) -> bool:
+        return self.parent.completed
+
+
+def split_ranges(size: int, parts: int) -> list[int]:
+    """Split ``size`` bytes into ``parts`` contiguous chunk sizes (no zeros;
+    fewer parts are returned when size < parts)."""
+    parts = min(parts, size)
+    base = size // parts
+    remainder = size % parts
+    return [base + (1 if i < remainder else 0) for i in range(parts)]
+
+
+def start_mptcp_flow(
+    network: "Network",
+    src,
+    dst,
+    size: int,
+    config: Optional[MptcpConfig] = None,
+    at: Optional[float] = None,
+    kind: str = "background",
+) -> MptcpFlow:
+    """Open an MPTCP connection of ``size`` bytes on ``network``.
+
+    The parent :class:`FlowHandle` carries the caller's ``kind`` and is the
+    unit of FCT measurement; subflows are registered with kind
+    :data:`SUBFLOW_KIND` so they don't pollute flow-level statistics.
+    """
+    if config is None:
+        config = MptcpConfig()
+    src_host = network.host(src)
+    dst_host = network.host(dst)
+    if src_host is dst_host:
+        raise ValueError("flow endpoints must differ")
+    if size <= 0:
+        raise ValueError("flow size must be positive")
+
+    start = network.scheduler.now if at is None else at
+    parent = FlowHandle(
+        network._next_flow_id, kind, src_host.node_id, dst_host.node_id, size, start
+    )
+    network._next_flow_id += 1
+    network.collector.add_flow(parent)
+
+    shared = _CoupledState() if config.coupled and config.subflows > 1 else None
+    children: list[FlowHandle] = []
+    for chunk in split_ranges(size, config.subflows):
+        flow_id = network._next_flow_id
+        network._next_flow_id += 1
+        child = FlowHandle(flow_id, SUBFLOW_KIND, src_host.node_id, dst_host.node_id, chunk, start)
+        TcpReceiver(dst_host, child, config.tcp)
+        sender = _SubflowSender(src_host, child, config.tcp, shared)
+        network.collector.add_flow(child)
+        children.append(child)
+        if start <= network.scheduler.now:
+            sender.start()
+        else:
+            network.scheduler.schedule_at(start, sender.start)
+    return MptcpFlow(parent, children)

@@ -1,0 +1,84 @@
+"""pFabric endpoints (Alizadeh et al., SIGCOMM 2013), the §5.8 baseline.
+
+pFabric moves scheduling into the fabric: every packet carries its flow's
+*remaining size* as a priority tag and switches run tiny priority queues
+(see :class:`repro.net.queues.PFabricQueue`).  Hosts then run a "minimal
+TCP":
+
+* start at line rate — a fixed window on the order of the BDP,
+* no fast retransmit and no ECN: losses are common by design and recovery
+  relies on a small fixed RTO (the paper uses 350 µs at 1 Gbps),
+* no congestion window adaptation.
+
+ACKs are tagged with the best priority (0) so they are never the packets a
+full pFabric queue evicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.host import Host
+from repro.net.packet import DEFAULT_TTL, MSS_BYTES
+from repro.transport.base import FlowHandle, TcpConfig
+from repro.transport.tcp import TcpReceiver, TcpSender
+
+__all__ = ["PFabricConfig", "PFabricSender", "PFabricReceiver"]
+
+
+@dataclass(frozen=True)
+class PFabricConfig:
+    """Host-side pFabric parameters (§5.8 settings)."""
+
+    window_pkts: int = 12
+    rto: float = 350e-6
+    mss: int = MSS_BYTES
+    ttl: int = DEFAULT_TTL
+
+    def as_tcp_config(self) -> TcpConfig:
+        return TcpConfig(
+            mss=self.mss,
+            init_cwnd_pkts=self.window_pkts,
+            min_rto=self.rto,
+            max_rto=self.rto,  # fixed timer: backoff has nowhere to go
+            fast_retransmit_threshold=None,
+            ecn=False,
+            dctcp=False,
+            ttl=self.ttl,
+        )
+
+
+class PFabricSender(TcpSender):
+    """Fixed-window, fixed-RTO sender with remaining-size priority tags."""
+
+    __slots__ = ("_fixed_window",)
+
+    def __init__(self, host: Host, flow: FlowHandle, config: PFabricConfig) -> None:
+        super().__init__(host, flow, config.as_tcp_config())
+        self._fixed_window = float(config.window_pkts * config.mss)
+        self.cwnd = self._fixed_window
+
+    def _priority_tag(self) -> int:
+        # Remaining flow size; retransmissions of old data inherit the
+        # current (small) remainder, which is what pFabric wants: flows
+        # near completion win.
+        return max(0, self.size - self.snd_una)
+
+    def _grow_cwnd(self, acked_bytes: int) -> None:
+        self.cwnd = self._fixed_window
+
+    def _sample_rtt(self, rtt: float) -> None:
+        pass  # the timer is fixed
+
+    def _on_timeout(self) -> None:
+        super()._on_timeout()
+        self.cwnd = self._fixed_window  # no multiplicative decrease
+        if not self.done:
+            self._try_send()
+
+
+class PFabricReceiver(TcpReceiver):
+    """Standard cumulative-ACK receiver with best-priority ACKs."""
+
+    def __init__(self, host: Host, flow: FlowHandle, config: PFabricConfig) -> None:
+        super().__init__(host, flow, config.as_tcp_config(), ack_priority=0)

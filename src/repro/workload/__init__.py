@@ -1,0 +1,30 @@
+"""Workload generators: background, incast query, long-lived flows."""
+
+from repro.workload.admission import AdmissionController, AdmittedQueryTraffic
+from repro.workload.background import BackgroundTraffic
+from repro.workload.distributions import (
+    EmpiricalDistribution,
+    fixed_size,
+    uniform_size,
+    web_search_background,
+)
+from repro.workload.longlived import LongLivedFlows
+from repro.workload.query import QueryTraffic
+from repro.workload.tracefile import TraceEntry, TraceReplay, load_trace, record_trace, save_trace
+
+__all__ = [
+    "AdmissionController",
+    "AdmittedQueryTraffic",
+    "BackgroundTraffic",
+    "QueryTraffic",
+    "LongLivedFlows",
+    "EmpiricalDistribution",
+    "web_search_background",
+    "uniform_size",
+    "fixed_size",
+    "TraceEntry",
+    "TraceReplay",
+    "load_trace",
+    "save_trace",
+    "record_trace",
+]

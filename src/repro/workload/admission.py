@@ -1,0 +1,147 @@
+"""Host-side admission control (§7).
+
+"Congestion mitigation is always coupled with network admission control...
+we still need admission control at the hosts to prevent applications from
+sending too many intensive short flows (e.g., due to misconfigurations,
+application bugs, or malicious users)."
+
+:class:`AdmissionController` is a token-bucket gate on flow *starts* for
+one host: flows are admitted at a sustained rate with bounded burst, and
+arrivals beyond the bucket wait in an admission queue (or are rejected if
+the queue is bounded and full).  Paired with a query generator it tames
+exactly the Figure-14 overload that breaks DIBS.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+
+__all__ = ["AdmissionController", "AdmittedQueryTraffic"]
+
+
+class AdmissionController:
+    """Token bucket over flow-start requests.
+
+    ``rate_per_s`` tokens accrue continuously up to ``burst``.  ``submit``
+    runs the launch callback immediately when a token is available,
+    otherwise parks it (up to ``max_backlog``; beyond that it is rejected
+    and counted).
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        rate_per_s: float,
+        burst: int = 1,
+        max_backlog: Optional[int] = None,
+    ) -> None:
+        if rate_per_s <= 0:
+            raise ValueError("admission rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be at least one token")
+        if max_backlog is not None and max_backlog < 0:
+            raise ValueError("backlog bound cannot be negative")
+        self.network = network
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self.max_backlog = max_backlog
+        self._tokens = float(burst)
+        self._last_refill = network.scheduler.now
+        self._backlog: deque[Callable[[], None]] = deque()
+        self._drain_scheduled = False
+        self.admitted = 0
+        self.delayed = 0
+        self.rejected = 0
+
+    # ------------------------------------------------------------------
+    def _refill(self) -> None:
+        now = self.network.scheduler.now
+        self._tokens = min(float(self.burst), self._tokens + (now - self._last_refill) * self.rate_per_s)
+        self._last_refill = now
+
+    # A token is "whole" within float tolerance; without this, a token of
+    # 1-1e-16 yields a drain wait that underflows to zero simulated time
+    # and the drain loop spins forever at a frozen clock.
+    _EPSILON = 1e-9
+
+    def submit(self, launch: Callable[[], None]) -> bool:
+        """Request admission for a flow start.  Returns ``False`` only when
+        the backlog bound rejects the request outright."""
+        self._refill()
+        if not self._backlog and self._tokens >= 1.0 - self._EPSILON:
+            self._tokens -= 1.0
+            self.admitted += 1
+            launch()
+            return True
+        if self.max_backlog is not None and len(self._backlog) >= self.max_backlog:
+            self.rejected += 1
+            return False
+        self.delayed += 1
+        self._backlog.append(launch)
+        self._schedule_drain()
+        return True
+
+    def _schedule_drain(self) -> None:
+        if self._drain_scheduled:
+            return
+        self._drain_scheduled = True
+        self._refill()
+        deficit = max(0.0, 1.0 - self._tokens)
+        # Never schedule a zero-advance wakeup (see _EPSILON note).
+        wait = max(deficit / self.rate_per_s, self._EPSILON / self.rate_per_s)
+        self.network.scheduler.schedule(wait, self._drain)
+
+    def _drain(self) -> None:
+        self._drain_scheduled = False
+        self._refill()
+        while self._backlog and self._tokens >= 1.0 - self._EPSILON:
+            self._tokens = max(0.0, self._tokens - 1.0)
+            self.admitted += 1
+            self._backlog.popleft()()
+        if self._backlog:
+            self._schedule_drain()
+
+    @property
+    def backlog(self) -> int:
+        return len(self._backlog)
+
+
+class AdmittedQueryTraffic:
+    """Query traffic gated by a cluster-wide admission controller.
+
+    Wraps :class:`~repro.workload.query.QueryTraffic` arrivals: queries
+    arrive at the offered ``qps`` but are *released* at most at
+    ``admit_qps``, smoothing the §5.7 overload.
+    """
+
+    def __init__(self, query_traffic, admit_qps: float, burst: int = 4) -> None:
+        self.query = query_traffic
+        self.controller = AdmissionController(
+            query_traffic.network, rate_per_s=admit_qps, burst=burst
+        )
+        # Intercept the generator's arrival hook.
+        self._inner_arrival = query_traffic._arrival
+        query_traffic._arrival = self._gated_arrival
+
+    def start(self) -> None:
+        self.query.start()
+
+    def _gated_arrival(self) -> None:
+        # Reschedule the next arrival immediately (offered load unchanged),
+        # but release the query itself through the token bucket.
+        self.query._schedule_next()
+        self.controller.submit(self._launch_one)
+
+    def _launch_one(self) -> None:
+        # Launch exactly one query now, without disturbing the arrival
+        # process (which _gated_arrival already advanced).
+        original_schedule = self.query._schedule_next
+        self.query._schedule_next = lambda: None
+        try:
+            self._inner_arrival()
+        finally:
+            self.query._schedule_next = original_schedule

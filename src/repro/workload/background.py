@@ -1,0 +1,80 @@
+"""Background (all-to-all) traffic generator.
+
+Each host runs an independent Poisson process of flow starts with mean
+interarrival time ``interarrival_s`` (Table 2: 10–120 ms per host); each
+flow goes to a uniformly random other host with a size drawn from the
+flow-size distribution.  The paper varies only the interarrival time to
+scale background intensity (§5.4.1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Union
+
+from repro.metrics.collector import KIND_BACKGROUND
+from repro.transport.base import TcpConfig
+from repro.transport.pfabric import PFabricConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+
+__all__ = ["BackgroundTraffic"]
+
+
+class BackgroundTraffic:
+    """Poisson background flows between random host pairs."""
+
+    def __init__(
+        self,
+        network: "Network",
+        interarrival_s: float,
+        size_dist,
+        transport: Union[str, TcpConfig, PFabricConfig] = "dctcp",
+        stop_at: float = 1.0,
+        rng_name: str = "workload.background",
+    ) -> None:
+        if interarrival_s <= 0:
+            raise ValueError("interarrival must be positive")
+        if stop_at <= 0:
+            raise ValueError("stop_at must be positive")
+        if len(network.hosts) < 2:
+            raise ValueError("background traffic needs at least two hosts")
+        self.network = network
+        self.interarrival_s = interarrival_s
+        self.size_dist = size_dist
+        self.transport = transport
+        self.stop_at = stop_at
+        self.rng = network.rngs.stream(rng_name)
+        self.flows_started = 0
+
+    def start(self) -> None:
+        """Arm the per-host arrival processes (call before ``network.run``)."""
+        for host in self.network.hosts:
+            self._schedule_next(host)
+
+    def _schedule_next(self, host) -> None:
+        delay = self.rng.expovariate(1.0 / self.interarrival_s)
+        when = self.network.scheduler.now + delay
+        if when >= self.stop_at:
+            return
+        self.network.scheduler.schedule_at(when, self._arrival, host)
+
+    def _arrival(self, host) -> None:
+        dst = self._pick_destination(host)
+        size = self.size_dist.sample(self.rng)
+        self.network.start_flow(
+            src=host.name,
+            dst=dst.name,
+            size=size,
+            transport=self.transport,
+            kind=KIND_BACKGROUND,
+        )
+        self.flows_started += 1
+        self._schedule_next(host)
+
+    def _pick_destination(self, src):
+        hosts = self.network.hosts
+        while True:
+            dst = hosts[self.rng.randrange(len(hosts))]
+            if dst is not src:
+                return dst

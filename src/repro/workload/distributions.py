@@ -1,0 +1,128 @@
+"""Flow-size distributions.
+
+The paper drives its simulations with "traffic distribution data from a
+production data center [18]" — the DCTCP web-search cluster.  The full
+trace is not public, but its published shape is: background flow sizes are
+heavy-tailed with roughly 80 % of flows under 100 KB (§5.3), a mass of
+small control/query-like flows, and a thin tail of multi-megabyte update
+flows that carry most of the bytes.  :func:`web_search_background` encodes
+that shape as a piecewise-linear empirical CDF.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import Sequence
+
+__all__ = ["EmpiricalDistribution", "web_search_background", "uniform_size", "fixed_size"]
+
+
+class EmpiricalDistribution:
+    """Inverse-transform sampling over a piecewise-linear CDF.
+
+    ``points`` is a sequence of ``(value, cumulative_probability)`` pairs
+    with strictly increasing values, non-decreasing probabilities, and a
+    final probability of 1.0.  Samples interpolate linearly between points;
+    values below the first point are clamped to it.
+    """
+
+    def __init__(self, points: Sequence[tuple[float, float]]) -> None:
+        if len(points) < 2:
+            raise ValueError("need at least two CDF points")
+        values = [v for v, _ in points]
+        probs = [p for _, p in points]
+        if any(b <= a for a, b in zip(values, values[1:])):
+            raise ValueError("CDF values must be strictly increasing")
+        if any(b < a for a, b in zip(probs, probs[1:])):
+            raise ValueError("CDF probabilities must be non-decreasing")
+        if not 0.0 <= probs[0] <= 1.0 or abs(probs[-1] - 1.0) > 1e-12:
+            raise ValueError("CDF must end at probability 1.0")
+        self._values = values
+        self._probs = probs
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one value (rounded to an int, min 1)."""
+        u = rng.random()
+        idx = bisect.bisect_left(self._probs, u)
+        if idx == 0:
+            return max(1, round(self._values[0]))
+        lo_p, hi_p = self._probs[idx - 1], self._probs[idx]
+        lo_v, hi_v = self._values[idx - 1], self._values[idx]
+        if hi_p == lo_p:
+            return max(1, round(hi_v))
+        frac = (u - lo_p) / (hi_p - lo_p)
+        return max(1, round(lo_v + frac * (hi_v - lo_v)))
+
+    def quantile(self, p: float) -> float:
+        """Value at cumulative probability ``p`` (for tests/reporting)."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+        idx = bisect.bisect_left(self._probs, p)
+        if idx == 0:
+            return self._values[0]
+        if idx >= len(self._probs):
+            return self._values[-1]
+        lo_p, hi_p = self._probs[idx - 1], self._probs[idx]
+        lo_v, hi_v = self._values[idx - 1], self._values[idx]
+        if hi_p == lo_p:
+            return hi_v
+        frac = (p - lo_p) / (hi_p - lo_p)
+        return lo_v + frac * (hi_v - lo_v)
+
+    def mean(self) -> float:
+        """Expected value of the piecewise-linear distribution."""
+        total = self._values[0] * self._probs[0]
+        for i in range(1, len(self._values)):
+            mass = self._probs[i] - self._probs[i - 1]
+            total += mass * (self._values[i - 1] + self._values[i]) / 2.0
+        return total
+
+
+def web_search_background() -> EmpiricalDistribution:
+    """Background flow sizes shaped on the DCTCP web-search workload [18].
+
+    Matches the constraint the paper states directly — 80 % of background
+    flows are smaller than 100 KB (§5.3) — with a heavy tail out to 10 MB.
+    Sizes in bytes.
+    """
+    kb = 1000.0
+    return EmpiricalDistribution(
+        [
+            (1 * kb, 0.00),
+            (2 * kb, 0.20),
+            (5 * kb, 0.40),
+            (10 * kb, 0.53),
+            (20 * kb, 0.60),
+            (50 * kb, 0.70),
+            (100 * kb, 0.80),
+            (200 * kb, 0.87),
+            (500 * kb, 0.93),
+            (1000 * kb, 0.97),
+            (10000 * kb, 1.00),
+        ]
+    )
+
+
+def uniform_size(lo: int, hi: int) -> EmpiricalDistribution:
+    """Uniform sizes in ``[lo, hi]`` (testing aid)."""
+    return EmpiricalDistribution([(float(lo), 0.0), (float(hi), 1.0)])
+
+
+class _Fixed:
+    """Degenerate distribution: always the same size."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.size = size
+
+    def sample(self, rng: random.Random) -> int:
+        return self.size
+
+    def mean(self) -> float:
+        return float(self.size)
+
+
+def fixed_size(size: int) -> _Fixed:
+    return _Fixed(size)

@@ -1,0 +1,76 @@
+"""Long-lived flows for the fairness experiment (§5.6).
+
+The paper splits its 128 hosts into 64 node-disjoint pairs and runs N
+long-lived flows in both directions between each pair, then checks that
+Jain's fairness index over per-flow throughput stays above 0.9 for
+N = 1..16.  :class:`LongLivedFlows` reproduces that setup on any topology.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Union
+
+from repro.metrics.collector import KIND_LONG
+from repro.metrics.stats import jain_index
+from repro.transport.base import FlowHandle, TcpConfig
+from repro.transport.pfabric import PFabricConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+
+__all__ = ["LongLivedFlows"]
+
+
+class LongLivedFlows:
+    """N bidirectional long-lived flows between disjoint host pairs."""
+
+    def __init__(
+        self,
+        network: "Network",
+        flows_per_direction: int = 1,
+        transport: Union[str, TcpConfig, PFabricConfig] = "dctcp",
+        flow_bytes: int = 1 << 30,
+        rng_name: str = "workload.longlived",
+    ) -> None:
+        if flows_per_direction < 1:
+            raise ValueError("need at least one flow per direction")
+        if len(network.hosts) < 2:
+            raise ValueError("need at least two hosts")
+        self.network = network
+        self.flows_per_direction = flows_per_direction
+        self.transport = transport
+        self.flow_bytes = flow_bytes
+        self.rng = network.rngs.stream(rng_name)
+        self.flows: list[FlowHandle] = []
+        self.started_at: float = 0.0
+
+    def start(self) -> None:
+        """Pair up hosts and launch all flows at the current time."""
+        hosts = list(self.network.hosts)
+        self.rng.shuffle(hosts)
+        if len(hosts) % 2:
+            hosts.pop()  # an odd straggler sits this experiment out
+        self.started_at = self.network.scheduler.now
+        for a, b in zip(hosts[::2], hosts[1::2]):
+            for _ in range(self.flows_per_direction):
+                for src, dst in ((a, b), (b, a)):
+                    flow = self.network.start_flow(
+                        src=src.name,
+                        dst=dst.name,
+                        size=self.flow_bytes,
+                        transport=self.transport,
+                        kind=KIND_LONG,
+                    )
+                    self.flows.append(flow)
+
+    # ------------------------------------------------------------------
+    def throughputs_bps(self, until: float) -> list[float]:
+        """Per-flow goodput (receiver in-order bytes) over the run."""
+        duration = until - self.started_at
+        if duration <= 0:
+            raise ValueError("measurement window is empty")
+        return [flow.bytes_received * 8.0 / duration for flow in self.flows]
+
+    def fairness(self, until: float) -> float:
+        """Jain's index over per-flow goodput (§5.6 target: > 0.9)."""
+        return jain_index(self.throughputs_bps(until))

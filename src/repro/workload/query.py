@@ -1,0 +1,101 @@
+"""Partition/aggregate ("incast") query traffic (§5.3).
+
+Queries arrive as a cluster-wide Poisson process at rate ``qps``.  Each
+query picks a random target host and ``degree`` random distinct responder
+hosts; every responder immediately sends ``response_bytes`` to the target
+(as in the DCTCP evaluation, the request fan-out is not modelled — the
+synchronized responses are what create the incast burst).  Query completion
+time (QCT) is the interval from query arrival until the target has received
+every responder's flow.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Union
+
+from repro.metrics.collector import KIND_QUERY
+from repro.transport.base import TcpConfig
+from repro.transport.pfabric import PFabricConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+
+__all__ = ["QueryTraffic"]
+
+
+class QueryTraffic:
+    """Poisson incast queries against random targets."""
+
+    def __init__(
+        self,
+        network: "Network",
+        qps: float,
+        degree: int,
+        response_bytes: int,
+        transport: Union[str, TcpConfig, PFabricConfig] = "dctcp",
+        stop_at: float = 1.0,
+        rng_name: str = "workload.query",
+        connections_per_responder: int = 1,
+    ) -> None:
+        """``connections_per_responder`` reproduces §5.5.2's trick of
+        pushing the incast degree past the host count "by using multiple
+        connections on single server": each responder opens that many
+        parallel flows, each of ``response_bytes``.  The effective incast
+        degree is ``degree * connections_per_responder``."""
+        if qps <= 0:
+            raise ValueError("qps must be positive")
+        if degree < 1:
+            raise ValueError("incast degree must be >= 1")
+        if degree >= len(network.hosts):
+            raise ValueError(
+                f"incast degree {degree} needs {degree + 1} hosts, "
+                f"topology has {len(network.hosts)}"
+            )
+        if response_bytes < 1:
+            raise ValueError("response size must be positive")
+        if connections_per_responder < 1:
+            raise ValueError("connections per responder must be >= 1")
+        self.network = network
+        self.qps = qps
+        self.degree = degree
+        self.response_bytes = response_bytes
+        self.transport = transport
+        self.stop_at = stop_at
+        self.rng = network.rngs.stream(rng_name)
+        self.connections_per_responder = connections_per_responder
+        self.queries_started = 0
+
+    def start(self) -> None:
+        """Arm the arrival process (call before ``network.run``)."""
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        delay = self.rng.expovariate(self.qps)
+        when = self.network.scheduler.now + delay
+        if when >= self.stop_at:
+            return
+        self.network.scheduler.schedule_at(when, self._arrival)
+
+    def _arrival(self) -> None:
+        hosts = self.network.hosts
+        target = hosts[self.rng.randrange(len(hosts))]
+        responders = self._pick_responders(target)
+        record = self.network.collector.new_query(
+            self.network.next_query_id(), target.node_id, self.network.scheduler.now
+        )
+        for responder in responders:
+            for _ in range(self.connections_per_responder):
+                flow = self.network.start_flow(
+                    src=responder.name,
+                    dst=target.name,
+                    size=self.response_bytes,
+                    transport=self.transport,
+                    kind=KIND_QUERY,
+                )
+                record.attach(flow)
+        self.queries_started += 1
+        self._schedule_next()
+
+    def _pick_responders(self, target):
+        candidates = [h for h in self.network.hosts if h is not target]
+        return self.rng.sample(candidates, self.degree)

@@ -1,0 +1,127 @@
+"""Flow-trace replay: bring-your-own-workload support.
+
+The paper drives NS-3 from production trace *distributions*; operators who
+have actual flow logs can replay them directly.  A trace is a CSV with the
+header ``start_s,src,dst,size_bytes[,kind]`` where src/dst are host names
+(``host_3``) or indices (``3``).  :class:`TraceReplay` schedules each row
+as a flow; :func:`record_trace` writes a collector's flows back out in the
+same format, so a synthetic run can be re-replayed bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Union
+
+from repro.metrics.collector import KIND_BACKGROUND
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics.collector import MetricsCollector
+    from repro.net.network import Network
+
+__all__ = ["TraceEntry", "load_trace", "save_trace", "record_trace", "TraceReplay"]
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One flow in a trace file."""
+
+    start_s: float
+    src: str
+    dst: str
+    size_bytes: int
+    kind: str = KIND_BACKGROUND
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ValueError("flow start time cannot be negative")
+        if self.size_bytes < 1:
+            raise ValueError("flow size must be positive")
+        if self.src == self.dst:
+            raise ValueError("flow endpoints must differ")
+
+
+def _canonical_host(raw: str) -> str:
+    raw = raw.strip()
+    return raw if raw.startswith("host_") else f"host_{int(raw)}"
+
+
+def load_trace(path: PathLike) -> list[TraceEntry]:
+    """Parse a trace CSV; rows sorted by start time."""
+    entries = []
+    with Path(path).open() as fh:
+        reader = csv.DictReader(fh)
+        required = {"start_s", "src", "dst", "size_bytes"}
+        if reader.fieldnames is None or not required.issubset(reader.fieldnames):
+            raise ValueError(f"trace must have columns {sorted(required)}")
+        for row in reader:
+            entries.append(
+                TraceEntry(
+                    start_s=float(row["start_s"]),
+                    src=_canonical_host(row["src"]),
+                    dst=_canonical_host(row["dst"]),
+                    size_bytes=int(row["size_bytes"]),
+                    kind=row.get("kind") or KIND_BACKGROUND,
+                )
+            )
+    entries.sort(key=lambda e: e.start_s)
+    return entries
+
+
+def save_trace(entries: list[TraceEntry], path: PathLike) -> Path:
+    """Write entries to a trace CSV; returns the path."""
+    out = Path(path)
+    with out.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["start_s", "src", "dst", "size_bytes", "kind"])
+        for entry in sorted(entries, key=lambda e: e.start_s):
+            writer.writerow([entry.start_s, entry.src, entry.dst, entry.size_bytes, entry.kind])
+    return out
+
+
+def record_trace(collector: "MetricsCollector", network: "Network", path: PathLike) -> Path:
+    """Export a run's flows as a replayable trace."""
+    entries = [
+        TraceEntry(
+            start_s=f.start_time,
+            src=network.host(f.src).name,
+            dst=network.host(f.dst).name,
+            size_bytes=f.size,
+            kind=f.kind,
+        )
+        for f in collector.flows
+    ]
+    return save_trace(entries, path)
+
+
+class TraceReplay:
+    """Schedules every trace entry as a flow on a network."""
+
+    def __init__(self, network: "Network", entries: list[TraceEntry], transport="dctcp") -> None:
+        self.network = network
+        self.entries = entries
+        self.transport = transport
+        self.flows = []
+
+    def start(self) -> None:
+        """Register all flows (deferred starts are scheduler events)."""
+        now = self.network.scheduler.now
+        for entry in self.entries:
+            if entry.start_s < now:
+                raise ValueError(
+                    f"trace entry at {entry.start_s}s is in the past (now={now}s)"
+                )
+            self.flows.append(
+                self.network.start_flow(
+                    src=entry.src,
+                    dst=entry.dst,
+                    size=entry.size_bytes,
+                    transport=self.transport,
+                    at=entry.start_s,
+                    kind=entry.kind,
+                )
+            )

@@ -1,0 +1,81 @@
+"""Shared test fixtures: tiny hand-wired networks with controllable loss."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.host import Host
+from repro.net.link import Port, connect
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.net.queues import DropTailQueue
+from repro.sim.engine import Scheduler
+from repro.transport.base import FlowHandle, TcpConfig
+from repro.transport.tcp import TcpReceiver, TcpSender
+
+__all__ = ["Wire", "TransportHarness"]
+
+
+class Wire(Node):
+    """A two-port repeater with an optional drop predicate.
+
+    Packets arriving on one port leave via the other.  ``drop_if`` is
+    called per packet; returning True silently discards it (simulating a
+    deterministic loss).  ``mark_if`` sets the CE bit (simulating a
+    congested marking switch without queue dynamics).
+    """
+
+    def __init__(self, node_id: int, name: str, scheduler: Scheduler) -> None:
+        super().__init__(node_id, name, scheduler)
+        self.drop_if: Optional[Callable[[Packet], bool]] = None
+        self.mark_if: Optional[Callable[[Packet], bool]] = None
+        self.dropped: list[Packet] = []
+        self.seen = 0
+
+    def receive(self, pkt: Packet, in_port: int) -> None:
+        self.seen += 1
+        if self.drop_if is not None and self.drop_if(pkt):
+            self.dropped.append(pkt)
+            return
+        if self.mark_if is not None and pkt.ecn_capable and self.mark_if(pkt):
+            pkt.ecn_ce = True
+        out = 1 - in_port
+        self.ports[out].send(pkt)
+
+
+class TransportHarness:
+    """host A -- wire -- host B, with direct endpoint construction.
+
+    The wire lets tests drop or mark specific packets deterministically,
+    which is how the TCP unit tests exercise fast retransmit, RTO, and
+    DCTCP's marking response without relying on emergent congestion.
+    """
+
+    def __init__(self, rate_bps: float = 1e9, delay_s: float = 5e-6, queue_pkts: int = 10_000):
+        self.scheduler = Scheduler()
+        self.a = Host(0, "A", self.scheduler)
+        self.b = Host(1, "B", self.scheduler)
+        self.wire = Wire(2, "wire", self.scheduler)
+
+        pa = Port(self.a, DropTailQueue(queue_pkts), rate_bps, delay_s)
+        w0 = Port(self.wire, DropTailQueue(queue_pkts), rate_bps, delay_s)
+        connect(pa, w0)
+        w1 = Port(self.wire, DropTailQueue(queue_pkts), rate_bps, delay_s)
+        pb = Port(self.b, DropTailQueue(queue_pkts), rate_bps, delay_s)
+        connect(w1, pb)
+
+        self._next_flow = 1
+
+    def flow(self, size: int, config: Optional[TcpConfig] = None, src=None, dst=None):
+        """Create sender on A, receiver on B; returns (handle, sender, receiver)."""
+        config = config if config is not None else TcpConfig()
+        src = src if src is not None else self.a
+        dst = dst if dst is not None else self.b
+        handle = FlowHandle(self._next_flow, "test", src.node_id, dst.node_id, size, self.scheduler.now)
+        self._next_flow += 1
+        receiver = TcpReceiver(dst, handle, config)
+        sender = TcpSender(src, handle, config)
+        return handle, sender, receiver
+
+    def run(self, until: Optional[float] = None):
+        return self.scheduler.run(until=until)

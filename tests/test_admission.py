@@ -1,0 +1,138 @@
+"""Tests for host admission control (§7) and multi-connection queries (§5.5.2)."""
+
+import pytest
+
+from repro.core.config import DibsConfig
+from repro.net.network import Network, SwitchQueueConfig
+from repro.topo import fat_tree
+from repro.workload.admission import AdmissionController, AdmittedQueryTraffic
+from repro.workload.query import QueryTraffic
+
+
+def net_factory(seed=1, buffer_pkts=30):
+    return Network(
+        fat_tree(k=4),
+        switch_queues=SwitchQueueConfig(buffer_pkts=buffer_pkts, ecn_threshold_pkts=8),
+        dibs=DibsConfig(),
+        seed=seed,
+    )
+
+
+class TestTokenBucket:
+    def test_burst_admits_immediately(self):
+        net = net_factory()
+        ctrl = AdmissionController(net, rate_per_s=10, burst=3)
+        fired = []
+        for i in range(3):
+            assert ctrl.submit(lambda i=i: fired.append(i))
+        assert fired == [0, 1, 2]
+        assert ctrl.admitted == 3
+
+    def test_excess_is_delayed_not_lost(self):
+        net = net_factory()
+        ctrl = AdmissionController(net, rate_per_s=10, burst=1)
+        fired = []
+        for i in range(5):
+            ctrl.submit(lambda i=i: fired.append(i))
+        assert fired == [0]
+        assert ctrl.backlog == 4
+        net.run(until=1.0)
+        assert fired == [0, 1, 2, 3, 4]
+        assert ctrl.backlog == 0
+
+    def test_release_times_match_rate(self):
+        net = net_factory()
+        ctrl = AdmissionController(net, rate_per_s=100, burst=1)
+        times = []
+        for _ in range(4):
+            ctrl.submit(lambda: times.append(net.scheduler.now))
+        net.run(until=1.0)
+        # Releases at ~0, 10ms, 20ms, 30ms.
+        assert times[0] == 0.0
+        for i, t in enumerate(times[1:], start=1):
+            assert t == pytest.approx(i * 0.01, abs=1e-6)
+
+    def test_backlog_bound_rejects(self):
+        net = net_factory()
+        ctrl = AdmissionController(net, rate_per_s=1, burst=1, max_backlog=2)
+        results = [ctrl.submit(lambda: None) for _ in range(5)]
+        assert results == [True, True, True, False, False]
+        assert ctrl.rejected == 2
+
+    def test_tokens_accumulate_up_to_burst(self):
+        net = net_factory()
+        ctrl = AdmissionController(net, rate_per_s=10, burst=3)
+        net.scheduler.schedule(10.0, lambda: None)
+        net.run()  # a long time passes
+        fired = []
+        for i in range(5):
+            ctrl.submit(lambda i=i: fired.append(i))
+        assert fired == [0, 1, 2]  # burst caps the accumulated tokens
+
+    def test_invalid_parameters(self):
+        net = net_factory()
+        with pytest.raises(ValueError):
+            AdmissionController(net, rate_per_s=0)
+        with pytest.raises(ValueError):
+            AdmissionController(net, rate_per_s=1, burst=0)
+        with pytest.raises(ValueError):
+            AdmissionController(net, rate_per_s=1, max_backlog=-1)
+
+
+class TestAdmittedQueries:
+    def test_admission_caps_query_release_rate(self):
+        net = net_factory()
+        query = QueryTraffic(net, qps=2000, degree=6, response_bytes=5_000,
+                             transport="dibs", stop_at=0.05)
+        gated = AdmittedQueryTraffic(query, admit_qps=200, burst=2)
+        gated.start()
+        net.run(until=0.05)
+        started = query.queries_started
+        # Offered ~100 queries in 50ms; admitted at most ~200/s * 50ms + burst.
+        assert started <= 200 * 0.05 + 2 + 1
+        assert gated.controller.delayed > 0
+
+    def test_admission_tames_overload(self):
+        """§7's point: the Figure-14 overload is an admission problem.
+
+        A modest TTL keeps the un-admitted overload run from spinning
+        millions of detour-loop events (the regime where DIBS breaks)."""
+        from repro.transport.base import dibs_host_config
+
+        def p99_qct(admit):
+            net = net_factory(seed=3, buffer_pkts=30)
+            query = QueryTraffic(net, qps=1500, degree=10, response_bytes=10_000,
+                                 transport=dibs_host_config(ttl=48), stop_at=0.04)
+            if admit:
+                AdmittedQueryTraffic(query, admit_qps=250, burst=2).start()
+            else:
+                query.start()
+            net.run(until=1.0)
+            qcts = net.collector.qct_values()
+            from repro.metrics.stats import percentile
+
+            return percentile(qcts, 99) if qcts else float("inf")
+
+        assert p99_qct(admit=True) < p99_qct(admit=False)
+
+
+class TestMultiConnectionQueries:
+    def test_effective_degree_multiplied(self):
+        net = net_factory()
+        query = QueryTraffic(net, qps=100, degree=5, response_bytes=2_000,
+                             transport="dibs", stop_at=0.05,
+                             connections_per_responder=3)
+        query.start()
+        net.run(until=0.5)
+        assert net.collector.queries
+        for record in net.collector.queries:
+            assert len(record.flows) == 15
+            # All 3 connections of one responder share src and dst.
+            srcs = [f.src for f in record.flows]
+            assert len(set(srcs)) == 5
+
+    def test_invalid_connection_count(self):
+        net = net_factory()
+        with pytest.raises(ValueError):
+            QueryTraffic(net, qps=10, degree=2, response_bytes=100,
+                         connections_per_responder=0)

@@ -1,0 +1,107 @@
+"""Tests for analysis helpers (comparisons, ASCII charts)."""
+
+import pytest
+
+from repro.analysis.asciiplot import bar_chart, cdf_plot, line_plot, sparkline
+from repro.analysis.compare import Comparison, compare, improvement_pct
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.scenarios import SCALED_DEFAULTS
+
+
+class TestImprovement:
+    def test_reduction_positive(self):
+        assert improvement_pct(100.0, 15.0) == pytest.approx(85.0)
+
+    def test_regression_negative(self):
+        assert improvement_pct(10.0, 20.0) == pytest.approx(-100.0)
+
+    def test_none_propagation(self):
+        assert improvement_pct(None, 5.0) is None
+        assert improvement_pct(5.0, None) is None
+        assert improvement_pct(0.0, 5.0) is None
+
+
+def fake_result(scheme, qct_ms_values, bg_values=(), drops=0, detours=0):
+    result = ExperimentResult(scenario=SCALED_DEFAULTS.with_overrides(scheme=scheme))
+    result.qct_values = [v / 1e3 for v in qct_ms_values]
+    result.bg_fct_short_values = [v / 1e3 for v in bg_values]
+    result.drops = {"overflow": drops}
+    result.detours = detours
+    return result
+
+
+class TestCompare:
+    def test_paper_headline_numbers(self):
+        baseline = fake_result("dctcp", [100.0] * 100, bg_values=[1.0] * 100, drops=500)
+        treated = fake_result("dibs", [15.0] * 100, bg_values=[2.0] * 100, detours=900)
+        cmp = compare(baseline, treated)
+        assert cmp.qct_p99_improvement_pct == pytest.approx(85.0)
+        assert cmp.bg_fct_p99_delta_ms == pytest.approx(1.0)
+        assert cmp.drops_baseline == 500
+        assert cmp.drops_treated == 0
+        assert cmp.detours_treated == 900
+
+    def test_headline_text(self):
+        baseline = fake_result("dctcp", [100.0], drops=10)
+        treated = fake_result("dibs", [50.0])
+        text = compare(baseline, treated).headline()
+        assert "dibs" in text and "dctcp" in text
+        assert "+50%" in text
+        assert "10 -> 0" in text
+
+    def test_missing_metrics_tolerated(self):
+        baseline = fake_result("dctcp", [])
+        treated = fake_result("dibs", [])
+        cmp = compare(baseline, treated)
+        assert cmp.qct_p99_improvement_pct is None
+        assert cmp.bg_fct_p99_delta_ms is None
+        assert "drops" in cmp.headline()
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line[0] == "▁" and line[-1] == "█"
+        assert len(line) == 8
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestBarChart:
+    def test_labels_and_scaling(self):
+        text = bar_chart({"dctcp": 100.0, "dibs": 25.0}, width=20, title="qct", unit="ms")
+        lines = text.splitlines()
+        assert lines[0] == "qct"
+        assert lines[1].count("#") == 20  # the max fills the width
+        assert lines[2].count("#") == 5
+        assert "100" in lines[1]
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart({}, title="x")
+
+
+class TestLineAndCdf:
+    def test_line_plot_contains_all_series_glyphs(self):
+        text = line_plot(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]},
+            width=20, height=5, title="t",
+        )
+        assert "* a" in text and "o b" in text
+        assert text.splitlines()[0] == "t"
+        assert "*" in text and "o" in text
+
+    def test_line_plot_axis_ranges(self):
+        text = line_plot({"a": [(10, 5), (20, 50)]}, width=10, height=4)
+        assert "x: 10 .. 20" in text
+        assert "y: 5 .. 50" in text
+
+    def test_cdf_plot_monotone_rendering(self):
+        text = cdf_plot({"fct": [1.0, 2.0, 3.0, 4.0]}, width=16, height=4)
+        assert "fct" in text
+
+    def test_empty_series_skipped(self):
+        assert "(no data)" in cdf_plot({"x": []})

@@ -1,0 +1,187 @@
+"""Unit tests for the DCTCP congestion-control behaviour."""
+
+import pytest
+
+from repro.net.packet import DATA, MSS_BYTES
+from repro.transport.base import TcpConfig, dctcp_config, dibs_host_config
+
+from tests.helpers import TransportHarness
+
+
+class TestConfigs:
+    def test_dctcp_config_flags(self):
+        cfg = dctcp_config()
+        assert cfg.dctcp and cfg.ecn and cfg.ecn_capable
+        assert cfg.fast_retransmit_threshold == 3
+
+    def test_dibs_host_config_disables_fast_retransmit(self):
+        cfg = dibs_host_config()
+        assert cfg.dctcp
+        assert cfg.fast_retransmit_threshold is None
+
+    def test_overrides_pass_through(self):
+        cfg = dibs_host_config(min_rto=0.001)
+        assert cfg.min_rto == 0.001
+
+    def test_plain_tcp_not_ecn_capable(self):
+        assert not TcpConfig().ecn_capable
+
+
+class TestEcnWireBehaviour:
+    def test_data_packets_are_ecn_capable(self):
+        h = TransportHarness()
+        seen = []
+        h.wire.mark_if = lambda pkt: seen.append(pkt.ecn_capable) or False
+        flow, sender, receiver = h.flow(3 * MSS_BYTES, dctcp_config())
+        sender.start()
+        h.run()
+        assert seen and all(seen)
+
+    def test_receiver_echoes_ce_on_ack(self):
+        h = TransportHarness()
+        h.wire.mark_if = lambda pkt: pkt.kind == DATA  # mark everything
+        ech = []
+        orig_on_ack = None
+
+        flow, sender, receiver = h.flow(3 * MSS_BYTES, dctcp_config())
+        orig_on_ack = sender.on_ack
+
+        def spy(pkt):
+            if pkt.is_ack:
+                ech.append(pkt.ece)
+            orig_on_ack(pkt)
+
+        h.a._endpoints[flow.flow_id] = spy
+        sender.start()
+        h.run()
+        assert ech and all(ech)
+
+    def test_no_echo_without_marks(self):
+        h = TransportHarness()
+        ech = []
+        flow, sender, receiver = h.flow(3 * MSS_BYTES, dctcp_config())
+        orig = sender.on_ack
+
+        def spy(pkt):
+            ech.append(pkt.ece)
+            orig(pkt)
+
+        h.a._endpoints[flow.flow_id] = spy
+        sender.start()
+        h.run()
+        assert ech and not any(ech)
+
+
+class TestAlphaEstimator:
+    def test_alpha_decays_without_marks(self):
+        h = TransportHarness()
+        # Cap the window so the flow spans many window boundaries: alpha
+        # decays by (1-g) per unmarked window, 0.9375^20 ~= 0.27.
+        cfg = dctcp_config(max_cwnd_pkts=10)
+        flow, sender, receiver = h.flow(200 * MSS_BYTES, cfg)
+        sender.start()
+        h.run()
+        assert sender.alpha < 0.5
+
+    def test_alpha_rises_toward_one_with_full_marking(self):
+        h = TransportHarness()
+        h.wire.mark_if = lambda pkt: pkt.kind == DATA
+        flow, sender, receiver = h.flow(200 * MSS_BYTES, dctcp_config())
+        sender.start()
+        h.run(until=2.0)
+        assert sender.alpha > 0.9
+
+    def test_alpha_stays_in_unit_interval(self):
+        h = TransportHarness()
+        state = {"n": 0}
+
+        def mark_alternate(pkt):
+            state["n"] += 1
+            return state["n"] % 2 == 0
+
+        h.wire.mark_if = mark_alternate
+        flow, sender, receiver = h.flow(300 * MSS_BYTES, dctcp_config())
+        sender.start()
+        h.run(until=2.0)
+        assert 0.0 <= sender.alpha <= 1.0
+
+    def test_marked_window_shrinks_cwnd(self):
+        h = TransportHarness()
+        flow, sender, receiver = h.flow(400 * MSS_BYTES, dctcp_config())
+        sender.start()
+        h.run(until=0.0008)  # let the window grow clean first
+        grown = sender.cwnd
+        h.wire.mark_if = lambda pkt: pkt.kind == DATA
+        h.run(until=0.004)
+        assert sender.cwnd < grown
+
+    def test_cwnd_reduction_proportional_to_alpha(self):
+        # With alpha ~= 1 (all marked), the per-window cut approaches 1/2.
+        h = TransportHarness()
+        h.wire.mark_if = lambda pkt: pkt.kind == DATA
+        flow, sender, receiver = h.flow(1000 * MSS_BYTES, dctcp_config())
+        sender.start()
+        h.run(until=1.0)
+        # Persistent full marking drives the window near the floor:
+        # x(1 - alpha/2) + 1 MSS per RTT equilibrates at ~2-3 MSS.
+        assert sender.cwnd <= 4 * MSS_BYTES
+
+    def test_cwnd_never_below_one_mss(self):
+        h = TransportHarness()
+        h.wire.mark_if = lambda pkt: pkt.kind == DATA
+        flow, sender, receiver = h.flow(500 * MSS_BYTES, dctcp_config())
+        sender.start()
+        h.run(until=2.0)
+        assert sender.cwnd >= MSS_BYTES
+
+
+class TestClassicEcnFallback:
+    def test_ecn_without_dctcp_halves_once_per_window(self):
+        h = TransportHarness()
+        cfg = TcpConfig(ecn=True, dctcp=False, init_cwnd_pkts=8)
+        h.wire.mark_if = lambda pkt: pkt.kind == DATA
+        flow, sender, receiver = h.flow(100 * MSS_BYTES, cfg)
+        sender.start()
+        before = sender.cwnd
+        h.run(until=0.0005)
+        assert sender.cwnd < before
+
+    def test_classic_ecn_still_completes(self):
+        h = TransportHarness()
+        cfg = TcpConfig(ecn=True, dctcp=False)
+        h.wire.mark_if = lambda pkt: pkt.kind == DATA
+        flow, sender, receiver = h.flow(50 * MSS_BYTES, cfg)
+        sender.start()
+        h.run(until=5.0)
+        assert flow.completed
+
+
+class TestDctcpWithLoss:
+    def test_queue_overflow_still_recovered_by_rto(self):
+        h = TransportHarness()
+        dropped = []
+
+        def drop_once(pkt):
+            if pkt.kind == DATA and pkt.seq == MSS_BYTES and not dropped:
+                dropped.append(pkt)
+                return True
+            return False
+
+        h.wire.drop_if = drop_once
+        flow, sender, receiver = h.flow(20 * MSS_BYTES, dibs_host_config(min_rto=0.005))
+        sender.start()
+        h.run()
+        assert flow.completed
+        assert flow.timeouts == 1
+
+    def test_timeout_resets_estimator_window(self):
+        h = TransportHarness()
+        h.wire.drop_if = lambda pkt: pkt.kind == DATA and pkt.seq == 0 and pkt.is_retransmit is False
+        flow, sender, receiver = h.flow(MSS_BYTES, dibs_host_config(min_rto=0.005))
+        sender.start()
+        h.run(until=0.005)
+        assert sender._dctcp_acked == 0
+        assert sender._dctcp_marked == 0
+        h.wire.drop_if = None
+        h.run()
+        assert flow.completed

@@ -1,0 +1,171 @@
+"""Unit tests for the DIBS detour policy implementations."""
+
+import random
+
+import pytest
+
+from repro.core.config import DibsConfig
+from repro.core.detour import (
+    FlowBasedDetourPolicy,
+    LoadAwareDetourPolicy,
+    ProbabilisticDetourPolicy,
+    RandomDetourPolicy,
+    make_policy,
+)
+from repro.net.link import Port
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.net.queues import DropTailQueue
+from repro.sim.engine import Scheduler
+
+
+class Dummy(Node):
+    def receive(self, pkt, in_port):
+        pass
+
+
+def make_ports(n, capacity=10):
+    sched = Scheduler()
+    node = Dummy(0, "sw", sched)
+    return [Port(node, DropTailQueue(capacity), 1e9, 0.0) for _ in range(n)]
+
+
+def pkt(flow=1):
+    return Packet(flow_id=flow, src=0, dst=1, payload=1460)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["random", "load-aware", "flow-based", "probabilistic"])
+    def test_make_policy_by_name(self, name):
+        assert make_policy(name).name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("bogus")
+
+    def test_kwargs_forwarded(self):
+        policy = make_policy("probabilistic", onset=0.5)
+        assert policy.onset == 0.5
+
+
+class TestShouldDetour:
+    def test_default_trigger_is_full_queue(self):
+        ports = make_ports(2, capacity=1)
+        policy = RandomDetourPolicy()
+        rng = random.Random(0)
+        assert not policy.should_detour(pkt(), ports[0], rng)
+        ports[0].queue.enqueue(pkt())
+        assert policy.should_detour(pkt(), ports[0], rng)
+
+
+class TestRandomPolicy:
+    def test_returns_none_without_candidates(self):
+        assert RandomDetourPolicy().choose(pkt(), make_ports(1)[0], [], random.Random(0)) is None
+
+    def test_choice_is_among_candidates(self):
+        ports = make_ports(4)
+        policy = RandomDetourPolicy()
+        rng = random.Random(0)
+        for _ in range(50):
+            choice = policy.choose(pkt(), ports[0], ports[1:], rng)
+            assert choice in ports[1:]
+
+    def test_uniformity(self):
+        ports = make_ports(4)
+        policy = RandomDetourPolicy()
+        rng = random.Random(42)
+        counts = {p.index: 0 for p in ports[1:]}
+        for _ in range(3000):
+            counts[policy.choose(pkt(), ports[0], ports[1:], rng).index] += 1
+        for c in counts.values():
+            assert 800 < c < 1200  # ~1000 each
+
+
+class TestLoadAwarePolicy:
+    def test_picks_emptiest_queue(self):
+        ports = make_ports(4)
+        for _ in range(3):
+            ports[1].queue.enqueue(pkt())
+        ports[2].queue.enqueue(pkt())
+        policy = LoadAwareDetourPolicy()
+        choice = policy.choose(pkt(), ports[0], ports[1:], random.Random(0))
+        assert choice is ports[3]
+
+    def test_random_tie_break(self):
+        ports = make_ports(4)
+        policy = LoadAwareDetourPolicy()
+        rng = random.Random(1)
+        seen = {policy.choose(pkt(), ports[0], ports[1:], rng) for _ in range(100)}
+        assert seen == set(ports[1:])
+
+    def test_none_without_candidates(self):
+        ports = make_ports(1)
+        assert LoadAwareDetourPolicy().choose(pkt(), ports[0], [], random.Random(0)) is None
+
+
+class TestFlowBasedPolicy:
+    def test_same_flow_same_port(self):
+        ports = make_ports(5)
+        policy = FlowBasedDetourPolicy()
+        rng = random.Random(0)
+        choices = {policy.choose(pkt(flow=7), ports[0], ports[1:], rng) for _ in range(20)}
+        assert len(choices) == 1
+
+    def test_different_flows_spread(self):
+        ports = make_ports(5)
+        policy = FlowBasedDetourPolicy()
+        rng = random.Random(0)
+        choices = {
+            policy.choose(pkt(flow=f), ports[0], ports[1:], rng).index for f in range(100)
+        }
+        assert len(choices) > 1
+
+    def test_none_without_candidates(self):
+        ports = make_ports(1)
+        assert FlowBasedDetourPolicy().choose(pkt(), ports[0], [], random.Random(0)) is None
+
+
+class TestProbabilisticPolicy:
+    def test_no_detour_below_onset(self):
+        ports = make_ports(2, capacity=10)
+        policy = ProbabilisticDetourPolicy(onset=0.8)
+        rng = random.Random(0)
+        for _ in range(5):
+            ports[0].queue.enqueue(pkt())  # 50% occupancy
+        assert not any(policy.should_detour(pkt(), ports[0], rng) for _ in range(100))
+
+    def test_always_detours_when_full(self):
+        ports = make_ports(2, capacity=4)
+        policy = ProbabilisticDetourPolicy(onset=0.5)
+        rng = random.Random(0)
+        for _ in range(4):
+            ports[0].queue.enqueue(pkt())
+        assert all(policy.should_detour(pkt(), ports[0], rng) for _ in range(20))
+
+    def test_intermediate_occupancy_detours_sometimes(self):
+        ports = make_ports(2, capacity=10)
+        policy = ProbabilisticDetourPolicy(onset=0.5)
+        rng = random.Random(0)
+        for _ in range(9):
+            ports[0].queue.enqueue(pkt())  # 90%: p = 0.8
+        outcomes = [policy.should_detour(pkt(), ports[0], rng) for _ in range(500)]
+        rate = sum(outcomes) / len(outcomes)
+        assert 0.7 < rate < 0.9
+
+    def test_invalid_onset_rejected(self):
+        with pytest.raises(ValueError):
+            ProbabilisticDetourPolicy(onset=1.0)
+        with pytest.raises(ValueError):
+            ProbabilisticDetourPolicy(onset=-0.1)
+
+
+class TestDibsConfig:
+    def test_default_enabled_random(self):
+        cfg = DibsConfig()
+        assert cfg.enabled
+        assert cfg.policy.name == "random"
+        assert cfg.allow_detour_to_ingress
+        assert cfg.max_detours_per_packet == 0
+
+    def test_disabled_constructor(self):
+        assert not DibsConfig.disabled().enabled

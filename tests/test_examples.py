@@ -1,0 +1,55 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation; a broken example is a broken promise.  The
+heavier ones get trimmed parameters via monkeypatching where needed.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples.{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "DCTCP+DIBS" in out
+        assert "eliminated all" in out
+
+    def test_packet_walk(self, capsys):
+        load_example("packet_walk").main()
+        out = capsys.readouterr().out
+        assert "Most-detoured packet" in out
+        assert "->" in out
+
+    def test_incast_anatomy(self, capsys):
+        load_example("incast_anatomy").main()
+        out = capsys.readouterr().out
+        assert "Detours per" in out
+        assert "t1: queues building up" in out
+        assert "0 drops" in out
+
+    def test_topology_tour(self, capsys):
+        load_example("topology_tour").main()
+        out = capsys.readouterr().out
+        for label in ("fat-tree", "leaf-spine", "jellyfish", "linear"):
+            assert label in out
+
+    @pytest.mark.slow
+    def test_web_search_cluster(self, capsys):
+        load_example("web_search_cluster").main()
+        out = capsys.readouterr().out
+        assert "dctcp" in out and "dibs" in out and "pfabric" in out

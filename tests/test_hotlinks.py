@@ -1,0 +1,101 @@
+"""Unit tests for the fabric utilization / neighbor buffer sampler."""
+
+import pytest
+
+from repro.core.config import DibsConfig
+from repro.metrics.hotlinks import FabricSampler
+from repro.net.network import Network, SwitchQueueConfig
+from repro.topo import fat_tree
+
+
+def build(dibs=True, buffer_pkts=30):
+    return Network(
+        fat_tree(k=4),
+        switch_queues=SwitchQueueConfig(buffer_pkts=buffer_pkts, ecn_threshold_pkts=8),
+        dibs=DibsConfig() if dibs else DibsConfig.disabled(),
+        seed=3,
+    )
+
+
+class TestSamplerMechanics:
+    def test_idle_network_has_no_hot_links(self):
+        net = build()
+        sampler = FabricSampler(net, interval_s=1e-3)
+        sampler.start(stop_at=0.01)
+        net.run(until=0.02)
+        assert sampler.bins >= 9
+        assert all(f == 0.0 for f in sampler.hot_fractions)
+        # No hot links => neighbor series stays empty.
+        assert sampler.neighbor_free_1hop == []
+
+    def test_bin_count_matches_horizon(self):
+        net = build()
+        sampler = FabricSampler(net, interval_s=2e-3)
+        sampler.start(stop_at=0.02)
+        net.run(until=0.05)
+        assert sampler.bins == 10
+
+    def test_saturated_link_is_hot(self):
+        net = build()
+        # A single bulk flow saturates its path links.
+        net.start_flow("host_0", "host_15", 10_000_000, transport="dibs")
+        sampler = FabricSampler(net, interval_s=1e-3, hot_threshold=0.9)
+        sampler.start(stop_at=0.03)
+        net.run(until=0.03)
+        busy_bins = [f for f in sampler.hot_fractions if f > 0]
+        assert busy_bins, "a saturated path must produce hot bins"
+        # One flow heats only a handful of the 64 directed fabric links.
+        assert max(sampler.hot_fractions) < 0.2
+
+    def test_hot_fraction_bounded(self):
+        net = build()
+        for i in range(1, 13):
+            net.start_flow(f"host_{i}", "host_0", 100_000, transport="dibs", kind="query")
+        sampler = FabricSampler(net, interval_s=1e-3)
+        sampler.start(stop_at=0.05)
+        net.run(until=0.05)
+        assert all(0.0 <= f <= 1.0 for f in sampler.hot_fractions)
+
+    def test_neighbor_free_fraction_bounded(self):
+        net = build(buffer_pkts=10)
+        for i in range(1, 13):
+            net.start_flow(f"host_{i}", "host_0", 100_000, transport="dibs", kind="query")
+        sampler = FabricSampler(net, interval_s=5e-4)
+        sampler.start(stop_at=0.05)
+        net.run(until=0.05)
+        assert sampler.neighbor_free_1hop, "incast must heat the edge links"
+        for series in (sampler.neighbor_free_1hop, sampler.neighbor_free_2hop):
+            assert all(0.0 <= v <= 1.0 for v in series)
+
+    def test_neighbors_mostly_free_during_incast(self):
+        # The paper's Figure 5 point: even while the incast port is
+        # overloaded, ~80% of nearby buffers are free.
+        net = build(buffer_pkts=30)
+        for i in range(4, 16):
+            net.start_flow(f"host_{i}", "host_0", 60_000, transport="dibs", kind="query")
+        sampler = FabricSampler(net, interval_s=5e-4)
+        sampler.start(stop_at=0.04)
+        net.run(until=0.04)
+        assert sampler.neighbor_free_1hop
+        assert min(sampler.neighbor_free_1hop) > 0.5
+        assert sum(sampler.neighbor_free_2hop) / len(sampler.neighbor_free_2hop) > 0.6
+
+    def test_invalid_parameters(self):
+        net = build()
+        with pytest.raises(ValueError):
+            FabricSampler(net, interval_s=0.0)
+        with pytest.raises(ValueError):
+            FabricSampler(net, interval_s=1e-3, hot_threshold=0.0)
+
+
+class TestNeighborhoods:
+    def test_two_hop_superset_of_structure(self):
+        net = build()
+        sampler = FabricSampler(net)
+        # edge_0_0's 1-hop switch neighbors are the two aggs in pod 0.
+        assert set(sampler._adj["edge_0_0"]) == {"agg_0_0", "agg_0_1"}
+        two = sampler._two_hop["edge_0_0"]
+        # 2-hop: the other edge in pod 0 plus all four cores.
+        assert "edge_0_1" in two
+        assert all(f"core_{i}" in two for i in range(4))
+        assert "edge_0_0" not in two

@@ -1,0 +1,171 @@
+"""Unit tests for statistics, flow/query collection."""
+
+import pytest
+
+from repro.metrics.collector import KIND_BACKGROUND, KIND_QUERY, MetricsCollector
+from repro.metrics.stats import cdf_points, jain_index, mean, percentile, summarize
+from repro.transport.base import FlowHandle
+
+
+class TestPercentile:
+    def test_median_of_odd_list(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_median_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_extremes(self):
+        data = [5, 1, 9, 3]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 9
+
+    def test_p99_of_100_values(self):
+        data = list(range(1, 101))
+        assert percentile(data, 99) == pytest.approx(99.01)
+
+    def test_single_value(self):
+        assert percentile([7.5], 99) == 7.5
+
+    def test_unsorted_input(self):
+        assert percentile([9, 1, 5], 50) == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_p_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_matches_numpy(self):
+        numpy = pytest.importorskip("numpy")
+        data = [0.3, 1.7, 2.2, 9.1, 4.4, 0.05, 3.3]
+        for p in (1, 25, 50, 75, 99):
+            assert percentile(data, p) == pytest.approx(float(numpy.percentile(data, p)))
+
+
+class TestJainIndex:
+    def test_perfectly_fair(self):
+        assert jain_index([5, 5, 5, 5]) == pytest.approx(1.0)
+
+    def test_single_hog(self):
+        assert jain_index([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_mild_imbalance_above_09(self):
+        assert jain_index([8, 10, 9, 11]) > 0.9
+
+    def test_all_zero_is_fair(self):
+        assert jain_index([0, 0]) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index([1, -1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+
+
+class TestSummaries:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+
+    def test_summarize_fields(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s["count"] == 3
+        assert s["mean"] == 2.0
+        assert s["min"] == 1.0 and s["max"] == 3.0
+
+    def test_summarize_empty(self):
+        assert summarize([]) == {"count": 0}
+
+    def test_cdf_points(self):
+        pts = cdf_points([3, 1, 2])
+        assert pts == [(1, pytest.approx(1 / 3)), (2, pytest.approx(2 / 3)), (3, pytest.approx(1.0))]
+
+
+def make_flow(fid, kind=KIND_BACKGROUND, size=5000, start=0.0, fct=None):
+    flow = FlowHandle(fid, kind, 0, 1, size, start)
+    if fct is not None:
+        flow.receiver_done_time = start + fct
+    return flow
+
+
+class TestCollector:
+    def test_fct_filters_by_kind_and_size(self):
+        c = MetricsCollector()
+        c.add_flow(make_flow(1, KIND_BACKGROUND, size=5000, fct=0.001))
+        c.add_flow(make_flow(2, KIND_BACKGROUND, size=50_000, fct=0.002))
+        c.add_flow(make_flow(3, KIND_QUERY, size=5000, fct=0.003))
+        values = c.fct_values(kind=KIND_BACKGROUND, min_size=1000, max_size=10_000)
+        assert values == [0.001]
+
+    def test_incomplete_flows_excluded(self):
+        c = MetricsCollector()
+        c.add_flow(make_flow(1, fct=0.001))
+        c.add_flow(make_flow(2, fct=None))
+        assert len(c.completed_flows()) == 1
+        assert c.incomplete_counts() == {KIND_BACKGROUND: 1}
+
+    def test_query_completion_needs_all_flows(self):
+        c = MetricsCollector()
+        q = c.new_query(0, target=9, start_time=1.0)
+        f1 = make_flow(1, KIND_QUERY)
+        f2 = make_flow(2, KIND_QUERY)
+        q.attach(f1)
+        q.attach(f2)
+        f1.mark_received_all(1.010)
+        assert not q.completed
+        f2.mark_received_all(1.025)
+        assert q.completed
+        assert q.qct == pytest.approx(0.025)
+
+    def test_qct_is_max_of_flow_completions(self):
+        c = MetricsCollector()
+        q = c.new_query(0, 9, start_time=0.0)
+        flows = [make_flow(i, KIND_QUERY) for i in range(5)]
+        for f in flows:
+            q.attach(f)
+        for i, f in enumerate(flows):
+            f.mark_received_all(0.001 * (i + 1))
+        assert q.qct == pytest.approx(0.005)
+
+    def test_qct_p99(self):
+        c = MetricsCollector()
+        for i in range(100):
+            q = c.new_query(i, 0, start_time=0.0)
+            f = make_flow(i, KIND_QUERY)
+            q.attach(f)
+            f.mark_received_all(float(i + 1))
+        assert c.qct_p99() == pytest.approx(percentile([float(i + 1) for i in range(100)], 99))
+
+    def test_qct_p99_none_when_no_queries(self):
+        assert MetricsCollector().qct_p99() is None
+
+    def test_short_bg_fct_p99_none_when_empty(self):
+        assert MetricsCollector().short_bg_fct_p99() is None
+
+    def test_summary_shape(self):
+        c = MetricsCollector()
+        c.add_flow(make_flow(1, fct=0.001))
+        s = c.summary()
+        assert s["flows"] == 1
+        assert s["flows_completed"] == 1
+        assert "qct" in s and "bg_fct_short" in s
+
+
+class TestFlowHandle:
+    def test_fct_requires_completion(self):
+        flow = make_flow(1)
+        assert flow.fct is None
+        flow.mark_received_all(0.5)
+        assert flow.fct == 0.5
+
+    def test_on_complete_called_once(self):
+        calls = []
+        flow = make_flow(1)
+        flow.on_complete = calls.append
+        flow.mark_received_all(0.1)
+        flow.mark_received_all(0.2)
+        assert len(calls) == 1
+        assert flow.receiver_done_time == 0.1

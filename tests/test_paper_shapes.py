@@ -1,0 +1,74 @@
+"""Fast executable checks of paper shapes not covered elsewhere.
+
+Each test is a miniature of one EXPERIMENTS.md artifact, small enough for
+the unit suite: the assertion is the *ordering* the paper reports, not any
+absolute number.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_scenario
+from repro.experiments.scenarios import SCALED_DEFAULTS
+
+FAST = SCALED_DEFAULTS.with_overrides(
+    duration_s=0.05, drain_s=0.5, qps=120.0, incast_degree=8,
+    bg_interarrival_s=0.06, name="shape",
+)
+
+
+class TestOversubscription:
+    """§5.5.4: the QCT win survives oversubscribed fabrics."""
+
+    @pytest.mark.parametrize("slowdown", [2.0, 4.0])
+    def test_dibs_wins_under_oversubscription(self, slowdown):
+        dctcp = run_scenario(FAST.with_overrides(scheme="dctcp", oversubscription=slowdown))
+        dibs = run_scenario(FAST.with_overrides(scheme="dibs", oversubscription=slowdown))
+        assert dibs.qct_p99_ms < dctcp.qct_p99_ms
+        assert dibs.total_drops < dctcp.total_drops
+
+
+class TestDbaStory:
+    """§5.5.2: a big shared pool absorbs moderate incast without DIBS;
+    overflow the pool and DIBS matters again."""
+
+    def test_pool_absorbs_moderate_incast(self):
+        point = FAST.with_overrides(scheme="dctcp-dba", dba_total_bytes=2_000_000,
+                                    bg_enabled=False)
+        result = run_scenario(point)
+        assert result.total_drops == 0
+
+    def test_dibs_dba_lossless_past_the_pool(self):
+        # A pool far smaller than the burst: plain DBA drops, DIBS+DBA doesn't.
+        small_pool = FAST.with_overrides(dba_total_bytes=80_000, bg_enabled=False,
+                                         incast_degree=10, response_bytes=40_000)
+        plain = run_scenario(small_pool.with_overrides(scheme="dctcp-dba"))
+        dibs = run_scenario(small_pool.with_overrides(scheme="dibs-dba"))
+        assert plain.total_drops > 0
+        assert dibs.total_drops == 0
+        assert dibs.detours > 0
+
+
+class TestInfiniteBufferBound:
+    """Figures 6/7: DIBS approaches the infinite-buffer bound."""
+
+    def test_dibs_close_to_infinite(self):
+        inf = run_scenario(FAST.with_overrides(scheme="dctcp-inf", bg_enabled=False))
+        dibs = run_scenario(FAST.with_overrides(scheme="dibs", bg_enabled=False))
+        dctcp = run_scenario(FAST.with_overrides(scheme="dctcp", bg_enabled=False))
+        assert inf.total_drops == 0
+        # Orderings: infinite <= DIBS < DCTCP (generous slack on the first).
+        assert dibs.qct_p99_ms <= inf.qct_p99_ms * 4
+        assert dibs.qct_p99_ms < dctcp.qct_p99_ms
+
+
+class TestHeadline:
+    """Abstract: 'reduces the 99th percentile of delay-sensitive query
+    completion time by up to 85%'. At small buffers our scaled setup
+    reaches comparable reductions."""
+
+    def test_large_qct_reduction_at_small_buffers(self):
+        point = FAST.with_overrides(buffer_pkts=10, ecn_threshold_pkts=4, bg_enabled=False)
+        dctcp = run_scenario(point.with_overrides(scheme="dctcp"))
+        dibs = run_scenario(point.with_overrides(scheme="dibs"))
+        reduction = 1.0 - dibs.qct_p99_ms / dctcp.qct_p99_ms
+        assert reduction > 0.5  # paper: "up to 85%"

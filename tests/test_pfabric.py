@@ -1,0 +1,162 @@
+"""Unit tests for the pFabric transport endpoints."""
+
+import pytest
+
+from repro.net.host import Host
+from repro.net.link import Port, connect
+from repro.net.packet import DATA, MSS_BYTES
+from repro.net.queues import DropTailQueue
+from repro.sim.engine import Scheduler
+from repro.transport.base import FlowHandle
+from repro.transport.pfabric import PFabricConfig, PFabricReceiver, PFabricSender
+
+from tests.helpers import Wire
+
+
+class PFabricHarness:
+    """host A -- wire -- host B with pFabric endpoints."""
+
+    def __init__(self, rate_bps=1e9, delay_s=5e-6):
+        self.scheduler = Scheduler()
+        self.a = Host(0, "A", self.scheduler)
+        self.b = Host(1, "B", self.scheduler)
+        self.wire = Wire(2, "wire", self.scheduler)
+        pa = Port(self.a, DropTailQueue(10_000), rate_bps, delay_s)
+        w0 = Port(self.wire, DropTailQueue(10_000), rate_bps, delay_s)
+        connect(pa, w0)
+        w1 = Port(self.wire, DropTailQueue(10_000), rate_bps, delay_s)
+        pb = Port(self.b, DropTailQueue(10_000), rate_bps, delay_s)
+        connect(w1, pb)
+        self._next = 1
+
+    def flow(self, size, config=None):
+        config = config if config is not None else PFabricConfig()
+        handle = FlowHandle(self._next, "test", 0, 1, size, self.scheduler.now)
+        self._next += 1
+        receiver = PFabricReceiver(self.b, handle, config)
+        sender = PFabricSender(self.a, handle, config)
+        return handle, sender, receiver
+
+    def run(self, until=None):
+        return self.scheduler.run(until=until)
+
+
+class TestConfig:
+    def test_as_tcp_config_disables_adaptation(self):
+        tcp = PFabricConfig(window_pkts=12, rto=350e-6).as_tcp_config()
+        assert tcp.fast_retransmit_threshold is None
+        assert not tcp.ecn and not tcp.dctcp
+        assert tcp.min_rto == tcp.max_rto == 350e-6
+        assert tcp.init_cwnd_pkts == 12
+
+
+class TestPriorityTagging:
+    def test_packets_carry_remaining_size(self):
+        h = PFabricHarness()
+        tags = []
+        h.wire.mark_if = None
+        h.wire.drop_if = lambda pkt: (pkt.kind == DATA and tags.append(pkt.priority)) or False
+        # Window smaller than the flow so later segments are sent after
+        # ACKs advance snd_una (the tag is size - snd_una at send time).
+        flow, sender, receiver = h.flow(10 * MSS_BYTES, PFabricConfig(window_pkts=2))
+        sender.start()
+        h.run()
+        assert flow.completed
+        # First burst: all tagged with the full remaining size.
+        assert tags[0] == 10 * MSS_BYTES
+        # Priority decreases (improves) as the flow drains.
+        assert tags[-1] < tags[0]
+
+    def test_acks_have_best_priority(self):
+        h = PFabricHarness()
+        ack_prios = []
+        h.wire.drop_if = lambda pkt: (pkt.is_ack and ack_prios.append(pkt.priority) and False) or False
+        flow, sender, receiver = h.flow(3 * MSS_BYTES)
+        sender.start()
+        h.run()
+        assert ack_prios and all(p == 0 for p in ack_prios)
+
+
+class TestFixedWindow:
+    def test_window_does_not_grow(self):
+        h = PFabricHarness()
+        cfg = PFabricConfig(window_pkts=5)
+        flow, sender, receiver = h.flow(100 * MSS_BYTES, cfg)
+        sender.start()
+        h.run()
+        assert flow.completed
+        assert sender.cwnd == pytest.approx(5 * MSS_BYTES)
+
+    def test_initial_burst_is_window_sized(self):
+        h = PFabricHarness()
+        cfg = PFabricConfig(window_pkts=7)
+        flow, sender, receiver = h.flow(100 * MSS_BYTES, cfg)
+        sender.start()
+        assert sender.next_seq == 7 * MSS_BYTES
+
+
+class TestFixedRto:
+    def test_rto_stays_fixed_under_repeated_loss(self):
+        h = PFabricHarness()
+        h.wire.drop_if = lambda pkt: pkt.kind == DATA  # black hole
+        cfg = PFabricConfig(window_pkts=2, rto=350e-6)
+        flow, sender, receiver = h.flow(2 * MSS_BYTES, cfg)
+        sender.start()
+        h.run(until=0.01)
+        assert sender.rto == pytest.approx(350e-6)
+        # ~0.01 / 350us ~= 28 timeouts: the fixed timer never backs off.
+        assert flow.timeouts >= 20
+
+    def test_loss_recovered_quickly(self):
+        h = PFabricHarness()
+        dropped = []
+
+        def drop_once(pkt):
+            if pkt.kind == DATA and pkt.seq == 0 and not dropped:
+                dropped.append(pkt)
+                return True
+            return False
+
+        h.wire.drop_if = drop_once
+        flow, sender, receiver = h.flow(5 * MSS_BYTES)
+        sender.start()
+        h.run()
+        assert flow.completed
+        assert flow.fct < 2e-3  # recovered within a few fixed RTOs
+
+    def test_window_restored_after_timeout(self):
+        h = PFabricHarness()
+        dropped = []
+
+        def drop_first_burst(pkt):
+            if pkt.kind == DATA and not pkt.is_retransmit and len(dropped) < 3:
+                dropped.append(pkt)
+                return True
+            return False
+
+        h.wire.drop_if = drop_first_burst
+        cfg = PFabricConfig(window_pkts=3)
+        flow, sender, receiver = h.flow(10 * MSS_BYTES, cfg)
+        sender.start()
+        h.run()
+        assert flow.completed
+        assert sender.cwnd == pytest.approx(3 * MSS_BYTES)
+
+
+class TestCompletion:
+    def test_large_flow_completes_at_line_rate(self):
+        h = PFabricHarness(rate_bps=1e9, delay_s=1e-6)
+        size = 1_000_000
+        flow, sender, receiver = h.flow(size, PFabricConfig(window_pkts=20))
+        sender.start()
+        h.run()
+        ideal = size * 8 / 1e9
+        assert flow.completed
+        assert flow.fct < ideal * 1.3
+
+    def test_partial_final_segment(self):
+        h = PFabricHarness()
+        flow, sender, receiver = h.flow(MSS_BYTES + 7)
+        sender.start()
+        h.run()
+        assert flow.completed

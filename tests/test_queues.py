@@ -1,0 +1,254 @@
+"""Unit tests for all queue disciplines."""
+
+import pytest
+
+from repro.net.packet import ACK, DATA, MTU_BYTES, Packet
+from repro.net.queues import (
+    INFINITE_CAPACITY,
+    DropTailQueue,
+    DynamicBufferQueue,
+    EcnQueue,
+    PFabricQueue,
+    SharedBufferPool,
+)
+
+
+def make_pkt(flow=1, seq=0, priority=None, ecn=False, payload=1460):
+    return Packet(flow_id=flow, src=0, dst=1, kind=DATA, seq=seq, payload=payload,
+                  ecn_capable=ecn, priority=priority)
+
+
+class TestDropTail:
+    def test_fifo_order(self):
+        q = DropTailQueue(10)
+        pkts = [make_pkt(seq=i) for i in range(5)]
+        for p in pkts:
+            assert q.enqueue(p)
+        out = [q.dequeue() for _ in range(5)]
+        assert out == pkts
+
+    def test_rejects_when_full(self):
+        q = DropTailQueue(2)
+        assert q.enqueue(make_pkt())
+        assert q.enqueue(make_pkt())
+        assert not q.enqueue(make_pkt())
+        assert q.drops == 1
+        assert len(q) == 2
+
+    def test_is_full_boundary(self):
+        q = DropTailQueue(3)
+        for _ in range(2):
+            q.enqueue(make_pkt())
+        assert not q.is_full()
+        q.enqueue(make_pkt())
+        assert q.is_full()
+
+    def test_byte_count_tracks_contents(self):
+        q = DropTailQueue(10)
+        q.enqueue(make_pkt(payload=1460))
+        q.enqueue(make_pkt(payload=100))
+        assert q.byte_count == 1500 + 140
+        q.dequeue()
+        assert q.byte_count == 140
+        q.dequeue()
+        assert q.byte_count == 0
+
+    def test_dequeue_empty_returns_none(self):
+        q = DropTailQueue(3)
+        assert q.dequeue() is None
+
+    def test_infinite_capacity_never_drops(self):
+        q = DropTailQueue(INFINITE_CAPACITY)
+        for i in range(10_000):
+            assert q.enqueue(make_pkt(seq=i))
+        assert q.drops == 0
+        assert not q.is_full()
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(0)
+
+    def test_clear(self):
+        q = DropTailQueue(5)
+        q.enqueue(make_pkt())
+        q.clear()
+        assert len(q) == 0
+        assert q.byte_count == 0
+
+
+class TestEcnQueue:
+    def test_marks_above_threshold(self):
+        q = EcnQueue(100, mark_threshold_pkts=3)
+        pkts = [make_pkt(seq=i, ecn=True) for i in range(6)]
+        for p in pkts:
+            q.enqueue(p)
+        # Occupancy including the arrival must exceed 3: packets 4..6.
+        assert [p.ecn_ce for p in pkts] == [False, False, False, True, True, True]
+        assert q.marks == 3
+
+    def test_non_ecn_packets_not_marked(self):
+        q = EcnQueue(100, mark_threshold_pkts=1)
+        pkts = [make_pkt(seq=i, ecn=False) for i in range(5)]
+        for p in pkts:
+            q.enqueue(p)
+        assert all(not p.ecn_ce for p in pkts)
+        assert q.marks == 0
+
+    def test_still_drops_when_full(self):
+        q = EcnQueue(2, mark_threshold_pkts=1)
+        q.enqueue(make_pkt(ecn=True))
+        q.enqueue(make_pkt(ecn=True))
+        assert not q.enqueue(make_pkt(ecn=True))
+        assert q.drops == 1
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            EcnQueue(10, mark_threshold_pkts=0)
+
+
+class TestPFabricQueue:
+    def test_dequeues_best_priority_first(self):
+        q = PFabricQueue(24)
+        low = make_pkt(flow=1, priority=50_000)
+        high = make_pkt(flow=2, priority=1_000)
+        mid = make_pkt(flow=3, priority=10_000)
+        for p in (low, high, mid):
+            q.enqueue(p)
+        assert q.dequeue() is high
+        assert q.dequeue() is mid
+        assert q.dequeue() is low
+
+    def test_fifo_among_equal_priorities(self):
+        q = PFabricQueue(24)
+        a = make_pkt(flow=1, seq=0, priority=100)
+        b = make_pkt(flow=1, seq=1460, priority=100)
+        q.enqueue(a)
+        q.enqueue(b)
+        assert q.dequeue() is a
+        assert q.dequeue() is b
+
+    def test_full_queue_evicts_worst_for_better_arrival(self):
+        q = PFabricQueue(2)
+        worst = make_pkt(flow=1, priority=90_000)
+        ok = make_pkt(flow=2, priority=50_000)
+        q.enqueue(worst)
+        q.enqueue(ok)
+        better = make_pkt(flow=3, priority=10_000)
+        assert q.enqueue(better)
+        assert q.evictions == 1
+        assert q.drops == 1  # the evicted packet counts as dropped
+        remaining = {q.dequeue(), q.dequeue()}
+        assert worst not in remaining
+        assert {ok, better} == remaining
+
+    def test_full_queue_drops_worse_arrival(self):
+        q = PFabricQueue(2)
+        q.enqueue(make_pkt(flow=1, priority=10))
+        q.enqueue(make_pkt(flow=2, priority=20))
+        assert not q.enqueue(make_pkt(flow=3, priority=99))
+        assert q.drops == 1
+        assert q.evictions == 0
+
+    def test_equal_priority_arrival_dropped_not_evicted(self):
+        # Ties favor residents (no useless churn).
+        q = PFabricQueue(1)
+        q.enqueue(make_pkt(flow=1, priority=10))
+        assert not q.enqueue(make_pkt(flow=2, priority=10))
+
+    def test_untagged_packets_are_worst_priority(self):
+        q = PFabricQueue(2)
+        untagged = make_pkt(flow=1, priority=None)
+        tagged = make_pkt(flow=2, priority=1 << 40)
+        q.enqueue(untagged)
+        q.enqueue(tagged)
+        assert q.dequeue() is tagged
+
+    def test_byte_count_consistent_after_eviction(self):
+        q = PFabricQueue(1)
+        q.enqueue(make_pkt(flow=1, priority=100, payload=1460))
+        q.enqueue(make_pkt(flow=2, priority=5, payload=100))
+        assert q.byte_count == 140
+        q.dequeue()
+        assert q.byte_count == 0
+
+    def test_eviction_prefers_newest_among_equal_worst(self):
+        q = PFabricQueue(2)
+        old = make_pkt(flow=1, priority=100)
+        new = make_pkt(flow=1, priority=100)
+        q.enqueue(old)
+        q.enqueue(new)
+        q.enqueue(make_pkt(flow=2, priority=1))
+        contents = {q.dequeue(), q.dequeue()}
+        assert old in contents and new not in contents
+
+
+class TestSharedBufferPool:
+    def test_admission_within_free_space(self):
+        pool = SharedBufferPool(10_000, alpha=1.0)
+        assert pool.admits(queue_bytes=0, pkt_size=1500, queue_pkts=0)
+
+    def test_rejects_when_pool_exhausted(self):
+        pool = SharedBufferPool(3_000, alpha=1.0)
+        pool.take(3_000)
+        assert not pool.admits(queue_bytes=0, pkt_size=1, queue_pkts=5)
+
+    def test_dynamic_threshold_limits_single_queue(self):
+        # With alpha=1 a queue may hold at most as many bytes as remain free.
+        pool = SharedBufferPool(10_000, alpha=1.0, reserved_pkts_per_port=0)
+        pool.take(6_000)
+        # queue already holds 5_000 > alpha * free (4_000): reject.
+        assert not pool.admits(queue_bytes=5_000, pkt_size=100, queue_pkts=4)
+
+    def test_reserved_packets_bypass_threshold(self):
+        pool = SharedBufferPool(10_000, alpha=0.01, reserved_pkts_per_port=2)
+        # Tiny alpha would reject, but the first packets are reserved.
+        assert pool.admits(queue_bytes=0, pkt_size=1500, queue_pkts=0)
+        assert pool.admits(queue_bytes=1500, pkt_size=1500, queue_pkts=1)
+
+    def test_release_accounting(self):
+        pool = SharedBufferPool(5_000)
+        pool.take(2_000)
+        pool.release(2_000)
+        assert pool.free_bytes == 5_000
+
+    def test_negative_accounting_raises(self):
+        pool = SharedBufferPool(5_000)
+        with pytest.raises(AssertionError):
+            pool.release(1)
+
+
+class TestDynamicBufferQueue:
+    def test_queues_share_the_pool(self):
+        pool = SharedBufferPool(4 * MTU_BYTES, alpha=1.0, reserved_pkts_per_port=0)
+        q1 = DynamicBufferQueue(pool)
+        q2 = DynamicBufferQueue(pool)
+        assert q1.enqueue(make_pkt())
+        assert q1.enqueue(make_pkt())
+        assert q2.enqueue(make_pkt())
+        # Pool nearly exhausted; q2 already holds >= alpha * free.
+        assert not q2.enqueue(make_pkt())
+        assert pool.used_bytes == 3 * MTU_BYTES
+
+    def test_dequeue_releases_pool_space(self):
+        pool = SharedBufferPool(2 * MTU_BYTES, reserved_pkts_per_port=0)
+        q = DynamicBufferQueue(pool)
+        q.enqueue(make_pkt())
+        q.dequeue()
+        assert pool.used_bytes == 0
+
+    def test_ecn_marking_when_configured(self):
+        pool = SharedBufferPool(100 * MTU_BYTES)
+        q = DynamicBufferQueue(pool, mark_threshold_pkts=1)
+        a = make_pkt(ecn=True)
+        b = make_pkt(ecn=True)
+        q.enqueue(a)
+        q.enqueue(b)
+        assert not a.ecn_ce and b.ecn_ce
+
+    def test_is_full_reflects_pool_state(self):
+        pool = SharedBufferPool(2 * MTU_BYTES, reserved_pkts_per_port=0)
+        q = DynamicBufferQueue(pool)
+        assert not q.is_full()
+        q.enqueue(make_pkt())
+        pool.take(MTU_BYTES)  # another port grabbed the rest
+        assert q.is_full()

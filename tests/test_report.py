@@ -1,0 +1,123 @@
+"""Edge-case tests for the report formatting layer."""
+
+import pytest
+
+from repro.experiments.report import _sort_key, format_cdf, format_sweep, format_table
+from repro.experiments.runner import ExperimentResult
+from repro.experiments.scenarios import SCALED_DEFAULTS
+
+
+def fake_result(scheme="dibs", qct_ms=None, bg_ms=None):
+    result = ExperimentResult(scenario=SCALED_DEFAULTS.with_overrides(scheme=scheme))
+    if qct_ms is not None:
+        result.qct_values = [v / 1e3 for v in qct_ms]
+    if bg_ms is not None:
+        result.bg_fct_short_values = [v / 1e3 for v in bg_ms]
+    return result
+
+
+class TestFormatTable:
+    def test_column_alignment(self):
+        text = format_table([{"a": "x", "bbbb": 1}, {"a": "longer", "bbbb": 22}])
+        lines = text.splitlines()
+        # All rows equal width; header contains both column names.
+        assert "a" in lines[0] and "bbbb" in lines[0]
+        assert len(lines[2]) == len(lines[3].rstrip()) or len(lines[2]) >= len("longer")
+
+    def test_missing_cell_rendered_empty(self):
+        text = format_table([{"a": 1, "b": 2}, {"a": 3}])
+        assert text.count("3") >= 1  # row renders without KeyError
+
+    def test_title_optional(self):
+        text = format_table([{"a": 1}])
+        assert not text.startswith("\n")
+        assert "a" in text.splitlines()[0]
+
+
+class TestFormatSweep:
+    def test_missing_combination_shows_dash(self):
+        results = {(10, "dibs"): fake_result("dibs", qct_ms=[5.0])}
+        text = format_sweep(results, "buffer", metrics=("qct_p99_ms",))
+        assert "5.00" in text
+
+    def test_none_metric_shows_dash(self):
+        results = {(10, "dibs"): fake_result("dibs")}  # no qct values
+        text = format_sweep(results, "buffer", metrics=("qct_p99_ms",))
+        assert "-" in text
+
+    def test_values_sorted_numerically(self):
+        results = {
+            (100, "dibs"): fake_result("dibs", qct_ms=[1.0]),
+            (20, "dibs"): fake_result("dibs", qct_ms=[2.0]),
+            (3, "dibs"): fake_result("dibs", qct_ms=[3.0]),
+        }
+        text = format_sweep(results, "x", metrics=("qct_p99_ms",))
+        rows = text.splitlines()[2:]
+        order = [int(r.split()[0]) for r in rows]
+        assert order == [3, 20, 100]
+
+    def test_mixed_type_values_do_not_crash(self):
+        results = {
+            ("1:4", "dibs"): fake_result("dibs", qct_ms=[1.0]),
+            (2, "dibs"): fake_result("dibs", qct_ms=[2.0]),
+        }
+        text = format_sweep(results, "oversub", metrics=("qct_p99_ms",))
+        assert "1:4" in text
+
+    def test_multiple_schemes_columns(self):
+        results = {
+            (1, "dctcp"): fake_result("dctcp", qct_ms=[10.0]),
+            (1, "dibs"): fake_result("dibs", qct_ms=[5.0]),
+        }
+        text = format_sweep(results, "x", metrics=("qct_p99_ms",))
+        header = text.splitlines()[0]
+        assert "dctcp:qct_p99_ms" in header and "dibs:qct_p99_ms" in header
+
+
+class TestSortKey:
+    def test_numbers_before_strings(self):
+        values = sorted(["1:4", 2, 10, "abc"], key=_sort_key)
+        assert values == [2, 10, "1:4", "abc"]
+
+    def test_numeric_strings_sort_as_numbers(self):
+        values = sorted(["10", "2"], key=_sort_key)
+        assert values == ["2", "10"]
+
+
+class TestFormatCdf:
+    def test_quantile_rows(self):
+        pts = [(float(i), (i + 1) / 100) for i in range(100)]
+        text = format_cdf(pts, samples=4)
+        lines = text.splitlines()
+        assert lines[0].startswith("fraction")
+        assert len(lines) == 2 + 4
+
+    def test_single_point(self):
+        text = format_cdf([(42.0, 1.0)], samples=3)
+        assert "42" in text
+
+
+class TestExperimentResultProperties:
+    def test_p50_and_p99(self):
+        result = fake_result(qct_ms=[float(i) for i in range(1, 101)])
+        assert result.qct_p50_ms == pytest.approx(50.5)
+        assert result.qct_p99_ms == pytest.approx(99.01)
+
+    def test_none_when_empty(self):
+        result = fake_result()
+        assert result.qct_p99_ms is None
+        assert result.qct_p50_ms is None
+        assert result.bg_fct_p99_ms is None
+        assert result.bg_fct_large_p99_ms is None
+
+    def test_total_drops_sums_causes(self):
+        result = fake_result()
+        result.drops = {"overflow": 3, "ttl_expired": 2}
+        assert result.total_drops == 5
+
+    def test_row_contains_headline_fields(self):
+        result = fake_result(qct_ms=[5.0], bg_ms=[1.0])
+        row = result.row()
+        assert row["scheme"] == "dibs"
+        assert row["qct_p99_ms"] == "5.00"
+        assert row["bg_fct_p99_ms"] == "1.00"

@@ -1,0 +1,184 @@
+"""Tests for SACK-based loss recovery."""
+
+import pytest
+
+from repro.net.packet import DATA, MSS_BYTES
+from repro.transport.base import TcpConfig
+
+from tests.helpers import TransportHarness
+
+
+def sack_config(**overrides):
+    base = dict(sack=True, fast_retransmit_threshold=3, min_rto=0.05)
+    base.update(overrides)
+    return TcpConfig(**base)
+
+
+class TestScoreboard:
+    def make_sender(self):
+        h = TransportHarness()
+        flow, sender, receiver = h.flow(100 * MSS_BYTES, sack_config())
+        return sender
+
+    def test_merge_overlapping_blocks(self):
+        s = self.make_sender()
+        s._sack_update([(10, 20), (15, 30), (40, 50)])
+        assert s._sacked == [(10, 30), (40, 50)]
+
+    def test_blocks_below_snd_una_dropped(self):
+        s = self.make_sender()
+        s.snd_una = 25
+        s._sack_update([(10, 20), (30, 40)])
+        assert s._sacked == [(30, 40)]
+
+    def test_first_hole_before_blocks(self):
+        s = self.make_sender()
+        s._sack_update([(2920, 4380)])  # segment 2 sacked
+        assert s._first_hole(0) == 0
+
+    def test_first_hole_between_blocks(self):
+        s = self.make_sender()
+        s._sack_update([(0, 1460), (2920, 4380)])
+        assert s._first_hole(1460) == 1460
+
+    def test_no_hole_when_everything_sacked_contiguously(self):
+        s = self.make_sender()
+        s._sack_update([(0, 4380)])
+        assert s._first_hole(0) is None
+
+    def test_empty_scoreboard_has_no_hole(self):
+        s = self.make_sender()
+        assert s._first_hole(0) is None
+
+
+class TestReceiverAdvertisement:
+    def test_ack_carries_ooo_blocks(self):
+        h = TransportHarness()
+        sacks = []
+
+        def capture(pkt):
+            if pkt.is_ack and pkt.sack:
+                sacks.append(pkt.sack)
+            return False
+
+        dropped = []
+
+        def drop_seg1(pkt):
+            if pkt.kind == DATA and pkt.seq == MSS_BYTES and not dropped:
+                dropped.append(pkt)
+                return True
+            return capture(pkt)
+
+        h.wire.drop_if = drop_seg1
+        flow, sender, receiver = h.flow(6 * MSS_BYTES, sack_config())
+        sender.start()
+        h.run()
+        assert flow.completed
+        assert sacks, "dup-ACKs must advertise the held block"
+        # The first advertised block starts at segment 2's offset.
+        assert sacks[0][0][0] == 2 * MSS_BYTES
+
+    def test_at_most_three_blocks(self):
+        h = TransportHarness()
+        # Drop segments 1, 3, 5, 7 first copies: four separate holes.
+        dropped = set()
+
+        def drop_odds(pkt):
+            if pkt.kind == DATA and not pkt.is_retransmit:
+                idx = pkt.seq // MSS_BYTES
+                if idx in (1, 3, 5, 7) and idx not in dropped:
+                    dropped.add(idx)
+                    return True
+            return False
+
+        h.wire.drop_if = drop_odds
+        flow, sender, receiver = h.flow(9 * MSS_BYTES, sack_config(init_cwnd_pkts=9))
+        sender.start()
+        h.run()
+        assert flow.completed
+        # (assertion is structural: receiver never crashes with >3 blocks
+        # and the flow recovers; block cap checked directly:)
+        receiver._ooo = {MSS_BYTES: 2 * MSS_BYTES, 3 * MSS_BYTES: 4 * MSS_BYTES,
+                         5 * MSS_BYTES: 6 * MSS_BYTES, 7 * MSS_BYTES: 8 * MSS_BYTES}
+        assert len(receiver._sack_blocks()) == 3
+
+
+class TestRecoveryQuality:
+    def run_with_drops(self, config, drop_idxs, segments=30):
+        h = TransportHarness()
+        dropped = set()
+
+        def drop(pkt):
+            if pkt.kind == DATA and not pkt.is_retransmit:
+                idx = pkt.seq // MSS_BYTES
+                if idx in drop_idxs and idx not in dropped:
+                    dropped.add(idx)
+                    return True
+            return False
+
+        h.wire.drop_if = drop
+        flow, sender, receiver = h.flow(segments * MSS_BYTES, config)
+        sender.start()
+        h.run()
+        assert flow.completed
+        return flow
+
+    def test_single_loss_recovers_without_timeout(self):
+        flow = self.run_with_drops(sack_config(), {2})
+        assert flow.timeouts == 0
+        assert flow.retransmits == 1  # exactly the hole
+
+    def test_multiple_losses_one_window_no_timeout(self):
+        """The case NewReno struggles with: several holes in one window.
+        SACK fills one hole per dup-ACK/partial-ACK and avoids the RTO."""
+        flow = self.run_with_drops(sack_config(init_cwnd_pkts=12), {2, 5, 8})
+        assert flow.timeouts == 0
+        assert flow.retransmits <= 5  # no go-back-N flood
+
+    def test_sack_beats_newreno_on_multi_loss(self):
+        sack_flow = self.run_with_drops(sack_config(init_cwnd_pkts=12), {2, 5, 8, 11})
+        newreno_flow = self.run_with_drops(
+            TcpConfig(sack=False, fast_retransmit_threshold=3, min_rto=0.05,
+                      init_cwnd_pkts=12),
+            {2, 5, 8, 11},
+        )
+        assert sack_flow.fct <= newreno_flow.fct
+        assert sack_flow.retransmits <= newreno_flow.retransmits + 1
+
+    def test_sack_with_reordering_tolerant_threshold(self):
+        """SACK + high dup-ACK threshold: the DIBS-friendly host stack —
+        reordering doesn't misfire, real loss still avoids RTO."""
+        flow = self.run_with_drops(
+            sack_config(fast_retransmit_threshold=10, init_cwnd_pkts=16), {3}
+        )
+        assert flow.timeouts == 0
+
+    def test_timeout_clears_scoreboard(self):
+        h = TransportHarness()
+        h.wire.drop_if = lambda pkt: pkt.kind == DATA  # black hole
+        flow, sender, receiver = h.flow(5 * MSS_BYTES, sack_config(min_rto=0.005))
+        sender.start()
+        sender._sack_update([(MSS_BYTES, 2 * MSS_BYTES)])
+        h.run(until=0.006)
+        assert sender._sacked == []
+
+
+class TestSackUnderDibs:
+    def test_incast_with_sack_hosts(self):
+        from repro.core.config import DibsConfig
+        from repro.net.network import Network, SwitchQueueConfig
+        from repro.topo import fat_tree
+
+        net = Network(
+            fat_tree(k=4),
+            switch_queues=SwitchQueueConfig(buffer_pkts=10, ecn_threshold_pkts=4),
+            dibs=DibsConfig(),
+            seed=9,
+        )
+        cfg = TcpConfig(dctcp=True, ecn=True, sack=True, fast_retransmit_threshold=10)
+        flows = [
+            net.start_flow(f"host_{i}", "host_0", 20_000, transport=cfg, kind="query")
+            for i in range(1, 13)
+        ]
+        net.run(until=5.0)
+        assert all(f.completed for f in flows)

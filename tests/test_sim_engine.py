@@ -1,0 +1,202 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.engine import Scheduler, SimulationError
+
+
+class TestScheduling:
+    def test_single_event_runs_at_its_time(self):
+        sched = Scheduler()
+        fired = []
+        sched.schedule(1.5, fired.append, "a")
+        sched.run()
+        assert fired == ["a"]
+        assert sched.now == 1.5
+
+    def test_events_run_in_time_order(self):
+        sched = Scheduler()
+        order = []
+        sched.schedule(3.0, order.append, 3)
+        sched.schedule(1.0, order.append, 1)
+        sched.schedule(2.0, order.append, 2)
+        sched.run()
+        assert order == [1, 2, 3]
+
+    def test_ties_break_in_fifo_order(self):
+        sched = Scheduler()
+        order = []
+        for i in range(10):
+            sched.schedule(1.0, order.append, i)
+        sched.run()
+        assert order == list(range(10))
+
+    def test_schedule_at_absolute_time(self):
+        sched = Scheduler()
+        times = []
+        sched.schedule_at(0.25, lambda: times.append(sched.now))
+        sched.run()
+        assert times == [0.25]
+
+    def test_zero_delay_event_fires(self):
+        sched = Scheduler()
+        fired = []
+        sched.schedule(0.0, fired.append, True)
+        sched.run()
+        assert fired == [True]
+
+    def test_negative_delay_rejected(self):
+        sched = Scheduler()
+        with pytest.raises(SimulationError):
+            sched.schedule(-1e-9, lambda: None)
+
+    def test_scheduling_into_the_past_rejected(self):
+        sched = Scheduler()
+        sched.schedule(1.0, lambda: None)
+        sched.run()
+        with pytest.raises(SimulationError):
+            sched.schedule_at(0.5, lambda: None)
+
+    def test_events_scheduled_during_run_execute(self):
+        sched = Scheduler()
+        order = []
+
+        def first():
+            order.append("first")
+            sched.schedule(1.0, lambda: order.append("nested"))
+
+        sched.schedule(1.0, first)
+        sched.run()
+        assert order == ["first", "nested"]
+        assert sched.now == 2.0
+
+
+class TestRunControl:
+    def test_until_stops_before_later_events(self):
+        sched = Scheduler()
+        fired = []
+        sched.schedule(1.0, fired.append, 1)
+        sched.schedule(5.0, fired.append, 5)
+        processed = sched.run(until=2.0)
+        assert fired == [1]
+        assert processed == 1
+        assert sched.now == 2.0  # clock advances to the horizon
+
+    def test_event_exactly_at_until_runs(self):
+        sched = Scheduler()
+        fired = []
+        sched.schedule(2.0, fired.append, 2)
+        sched.run(until=2.0)
+        assert fired == [2]
+
+    def test_resume_after_until(self):
+        sched = Scheduler()
+        fired = []
+        sched.schedule(1.0, fired.append, 1)
+        sched.schedule(5.0, fired.append, 5)
+        sched.run(until=2.0)
+        sched.run()
+        assert fired == [1, 5]
+
+    def test_max_events_limits_processing(self):
+        sched = Scheduler()
+        fired = []
+        for i in range(10):
+            sched.schedule(float(i + 1), fired.append, i)
+        processed = sched.run(max_events=3)
+        assert processed == 3
+        assert fired == [0, 1, 2]
+
+    def test_step_processes_one_event(self):
+        sched = Scheduler()
+        fired = []
+        sched.schedule(1.0, fired.append, 1)
+        sched.schedule(2.0, fired.append, 2)
+        assert sched.step() is True
+        assert fired == [1]
+        assert sched.step() is True
+        assert sched.step() is False
+
+    def test_events_processed_counter(self):
+        sched = Scheduler()
+        for i in range(5):
+            sched.schedule(float(i), lambda: None)
+        sched.run()
+        assert sched.events_processed == 5
+
+    def test_reentrant_run_rejected(self):
+        sched = Scheduler()
+
+        def recurse():
+            sched.run()
+
+        sched.schedule(1.0, recurse)
+        with pytest.raises(SimulationError):
+            sched.run()
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sched = Scheduler()
+        fired = []
+        ev = sched.schedule(1.0, fired.append, "x")
+        ev.cancel()
+        sched.run()
+        assert fired == []
+
+    def test_cancel_via_scheduler_helper(self):
+        sched = Scheduler()
+        fired = []
+        ev = sched.schedule(1.0, fired.append, "x")
+        Scheduler.cancel(ev)
+        sched.run()
+        assert fired == []
+
+    def test_cancel_none_is_noop(self):
+        Scheduler.cancel(None)  # must not raise
+
+    def test_cancelled_events_skipped_by_peek(self):
+        sched = Scheduler()
+        ev = sched.schedule(1.0, lambda: None)
+        sched.schedule(2.0, lambda: None)
+        ev.cancel()
+        assert sched.peek_time() == 2.0
+
+    def test_pending_excludes_cancelled(self):
+        sched = Scheduler()
+        ev = sched.schedule(1.0, lambda: None)
+        sched.schedule(2.0, lambda: None)
+        assert sched.pending == 2
+        ev.cancel()
+        assert sched.pending == 1
+
+    def test_cancel_one_of_simultaneous_events(self):
+        sched = Scheduler()
+        fired = []
+        sched.schedule(1.0, fired.append, "keep")
+        ev = sched.schedule(1.0, fired.append, "drop")
+        ev.cancel()
+        sched.run()
+        assert fired == ["keep"]
+
+
+class TestReset:
+    def test_reset_clears_state(self):
+        sched = Scheduler()
+        sched.schedule(1.0, lambda: None)
+        sched.run()
+        sched.reset()
+        assert sched.now == 0.0
+        assert sched.pending == 0
+        assert sched.peek_time() is None
+
+    def test_reset_allows_rescheduling_from_zero(self):
+        sched = Scheduler()
+        sched.schedule(5.0, lambda: None)
+        sched.run()
+        sched.reset()
+        fired = []
+        sched.schedule(0.5, fired.append, 1)
+        sched.run()
+        assert fired == [1]
+        assert sched.now == 0.5

@@ -1,0 +1,111 @@
+"""Property-based liveness/safety tests for the transport layer.
+
+The key transport invariant: whatever (finite) loss pattern the network
+inflicts, a flow eventually completes, the receiver ends with exactly the
+flow's bytes, and progress counters stay consistent.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.packet import DATA, MSS_BYTES
+from repro.transport.base import TcpConfig
+
+from tests.helpers import TransportHarness
+
+
+class TestLossLiveness:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        drop_indices=st.sets(st.integers(min_value=0, max_value=19), max_size=10),
+        size_segments=st.integers(min_value=1, max_value=20),
+        fast_retransmit=st.sampled_from([None, 3, 10]),
+    )
+    def test_flow_completes_under_any_single_loss_pattern(
+        self, drop_indices, size_segments, fast_retransmit
+    ):
+        """Drop the first transmission of arbitrary segments: the flow must
+        still complete and deliver exactly its bytes."""
+        h = TransportHarness()
+        dropped = set()
+
+        def drop_first_copy(pkt):
+            if pkt.kind != DATA or pkt.is_retransmit:
+                return False
+            idx = pkt.seq // MSS_BYTES
+            if idx in drop_indices and idx not in dropped:
+                dropped.add(idx)
+                return True
+            return False
+
+        h.wire.drop_if = drop_first_copy
+        config = TcpConfig(min_rto=0.002, fast_retransmit_threshold=fast_retransmit)
+        size = size_segments * MSS_BYTES - 7  # ragged tail
+        flow, sender, receiver = h.flow(size, config)
+        sender.start()
+        h.run(until=30.0)
+        assert flow.completed
+        assert receiver.rcv_next == size
+        assert flow.bytes_received == size
+        assert sender.snd_una == size
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        drop_every=st.integers(min_value=2, max_value=9),
+        seed_size=st.integers(min_value=2, max_value=30),
+    )
+    def test_flow_completes_under_periodic_loss(self, drop_every, seed_size):
+        """Periodic loss (including of retransmissions) still terminates,
+        because the drop pattern is positional, not per-segment."""
+        h = TransportHarness()
+        state = {"n": 0}
+
+        def drop_periodic(pkt):
+            if pkt.kind != DATA:
+                return False
+            state["n"] += 1
+            return state["n"] % drop_every == 0
+
+        h.wire.drop_if = drop_periodic
+        config = TcpConfig(min_rto=0.002)
+        size = seed_size * MSS_BYTES
+        flow, sender, receiver = h.flow(size, config)
+        sender.start()
+        h.run(until=60.0)
+        assert flow.completed
+        assert receiver.rcv_next == size
+
+    @settings(deadline=None, max_examples=20)
+    @given(mark_every=st.integers(min_value=1, max_value=5))
+    def test_dctcp_progress_under_any_marking(self, mark_every):
+        """ECN marks slow DCTCP down but can never stall it."""
+        from repro.transport.base import dctcp_config
+
+        h = TransportHarness()
+        state = {"n": 0}
+
+        def mark_periodic(pkt):
+            state["n"] += 1
+            return state["n"] % mark_every == 0
+
+        h.wire.mark_if = mark_periodic
+        flow, sender, receiver = h.flow(30 * MSS_BYTES, dctcp_config())
+        sender.start()
+        h.run(until=30.0)
+        assert flow.completed
+        assert 0.0 <= sender.alpha <= 1.0
+
+    @settings(deadline=None, max_examples=15)
+    @given(
+        sizes=st.lists(st.integers(min_value=1, max_value=30_000), min_size=1, max_size=6),
+    )
+    def test_concurrent_flows_all_complete(self, sizes):
+        h = TransportHarness()
+        flows = []
+        for size in sizes:
+            flow, sender, receiver = h.flow(size)
+            sender.start()
+            flows.append(flow)
+        h.run(until=30.0)
+        assert all(f.completed for f in flows)
+        assert all(f.bytes_received == f.size for f in flows)

@@ -1,0 +1,221 @@
+"""Unit tests for workload generators and distributions."""
+
+import random
+
+import pytest
+
+from repro.core.config import DibsConfig
+from repro.net.network import Network, SwitchQueueConfig
+from repro.topo import fat_tree
+from repro.workload.background import BackgroundTraffic
+from repro.workload.distributions import (
+    EmpiricalDistribution,
+    fixed_size,
+    uniform_size,
+    web_search_background,
+)
+from repro.workload.longlived import LongLivedFlows
+from repro.workload.query import QueryTraffic
+
+
+class TestEmpiricalDistribution:
+    def test_samples_within_support(self):
+        dist = EmpiricalDistribution([(10.0, 0.0), (20.0, 1.0)])
+        rng = random.Random(0)
+        for _ in range(200):
+            assert 10 <= dist.sample(rng) <= 20
+
+    def test_quantiles_interpolate(self):
+        dist = EmpiricalDistribution([(0.0, 0.0), (100.0, 1.0)])
+        assert dist.quantile(0.5) == pytest.approx(50.0)
+
+    def test_mean_of_uniform(self):
+        dist = uniform_size(0, 100)
+        assert dist.mean() == pytest.approx(50.0)
+
+    def test_sample_mean_close_to_analytic(self):
+        dist = web_search_background()
+        rng = random.Random(7)
+        samples = [dist.sample(rng) for _ in range(20_000)]
+        assert sum(samples) / len(samples) == pytest.approx(dist.mean(), rel=0.1)
+
+    def test_web_search_80pct_under_100kb(self):
+        # The constraint the paper states explicitly (§5.3).
+        dist = web_search_background()
+        rng = random.Random(1)
+        samples = [dist.sample(rng) for _ in range(20_000)]
+        frac_small = sum(1 for s in samples if s < 100_000) / len(samples)
+        assert 0.75 <= frac_small <= 0.85
+
+    def test_web_search_has_heavy_tail(self):
+        dist = web_search_background()
+        assert dist.quantile(0.999) > 5_000_000
+
+    def test_invalid_cdfs_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([(1.0, 0.0)])  # too few points
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([(2.0, 0.0), (1.0, 1.0)])  # decreasing values
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([(1.0, 0.5), (2.0, 0.4)])  # decreasing probs
+        with pytest.raises(ValueError):
+            EmpiricalDistribution([(1.0, 0.0), (2.0, 0.9)])  # doesn't reach 1
+
+    def test_fixed_size(self):
+        dist = fixed_size(1234)
+        assert dist.sample(random.Random(0)) == 1234
+        assert dist.mean() == 1234.0
+        with pytest.raises(ValueError):
+            fixed_size(0)
+
+
+def small_net(**kwargs):
+    return Network(fat_tree(k=4), dibs=DibsConfig(), seed=2, **kwargs)
+
+
+class TestBackgroundTraffic:
+    def test_flows_generated_at_expected_rate(self):
+        net = small_net()
+        bg = BackgroundTraffic(net, interarrival_s=0.01, size_dist=fixed_size(1460),
+                               transport="dibs", stop_at=0.5)
+        bg.start()
+        net.run(until=1.0)
+        # 16 hosts x ~50 arrivals each = ~800 expected.
+        assert 500 <= bg.flows_started <= 1100
+
+    def test_flows_are_background_kind(self):
+        net = small_net()
+        bg = BackgroundTraffic(net, 0.05, fixed_size(1000), transport="dibs", stop_at=0.2)
+        bg.start()
+        net.run(until=0.5)
+        assert all(f.kind == "background" for f in net.collector.flows)
+
+    def test_no_self_flows(self):
+        net = small_net()
+        bg = BackgroundTraffic(net, 0.01, fixed_size(1000), transport="dibs", stop_at=0.3)
+        bg.start()
+        net.run(until=0.6)
+        assert all(f.src != f.dst for f in net.collector.flows)
+
+    def test_stops_at_stop_time(self):
+        net = small_net()
+        bg = BackgroundTraffic(net, 0.01, fixed_size(1000), transport="dibs", stop_at=0.1)
+        bg.start()
+        net.run(until=1.0)
+        assert all(f.start_time < 0.1 for f in net.collector.flows)
+
+    def test_all_flows_complete_under_light_load(self):
+        net = small_net()
+        bg = BackgroundTraffic(net, 0.02, fixed_size(5000), transport="dibs", stop_at=0.2)
+        bg.start()
+        net.run(until=2.0)
+        assert all(f.completed for f in net.collector.flows)
+
+    def test_invalid_parameters(self):
+        net = small_net()
+        with pytest.raises(ValueError):
+            BackgroundTraffic(net, 0.0, fixed_size(1000))
+        with pytest.raises(ValueError):
+            BackgroundTraffic(net, 0.01, fixed_size(1000), stop_at=0.0)
+
+
+class TestQueryTraffic:
+    def test_queries_have_degree_flows(self):
+        net = small_net()
+        q = QueryTraffic(net, qps=100, degree=5, response_bytes=2000, transport="dibs", stop_at=0.2)
+        q.start()
+        net.run(until=1.0)
+        assert q.queries_started > 0
+        for record in net.collector.queries:
+            assert len(record.flows) == 5
+
+    def test_responders_distinct_and_not_target(self):
+        net = small_net()
+        q = QueryTraffic(net, qps=200, degree=8, response_bytes=1000, transport="dibs", stop_at=0.1)
+        q.start()
+        net.run(until=0.5)
+        for record in net.collector.queries:
+            srcs = [f.src for f in record.flows]
+            assert len(set(srcs)) == len(srcs)
+            assert record.target not in srcs
+            assert all(f.dst == record.target for f in record.flows)
+
+    def test_queries_complete_with_dibs(self):
+        net = small_net()
+        q = QueryTraffic(net, qps=50, degree=10, response_bytes=20_000, transport="dibs", stop_at=0.2)
+        q.start()
+        net.run(until=2.0)
+        assert all(r.completed for r in net.collector.queries)
+        assert all(r.qct > 0 for r in net.collector.queries)
+
+    def test_degree_bounded_by_cluster(self):
+        net = small_net()
+        with pytest.raises(ValueError):
+            QueryTraffic(net, qps=10, degree=16, response_bytes=100)
+
+    def test_invalid_parameters(self):
+        net = small_net()
+        with pytest.raises(ValueError):
+            QueryTraffic(net, qps=0, degree=2, response_bytes=100)
+        with pytest.raises(ValueError):
+            QueryTraffic(net, qps=10, degree=0, response_bytes=100)
+        with pytest.raises(ValueError):
+            QueryTraffic(net, qps=10, degree=2, response_bytes=0)
+
+
+class TestLongLivedFlows:
+    def test_pairs_are_disjoint(self):
+        net = small_net()
+        ll = LongLivedFlows(net, flows_per_direction=1, transport="dibs")
+        ll.start()
+        # 16 hosts -> 8 pairs -> 16 flows; each host appears exactly twice
+        # (once as src, once as dst).
+        assert len(ll.flows) == 16
+        srcs = [f.src for f in ll.flows]
+        dsts = [f.dst for f in ll.flows]
+        assert sorted(srcs) == sorted(dsts)
+        from collections import Counter
+
+        assert all(c == 1 for c in Counter(srcs).values())
+
+    def test_multiple_flows_per_direction(self):
+        net = small_net()
+        ll = LongLivedFlows(net, flows_per_direction=3, transport="dibs")
+        ll.start()
+        assert len(ll.flows) == 16 * 3
+
+    def test_throughputs_positive_after_run(self):
+        net = small_net()
+        ll = LongLivedFlows(net, 1, transport="dibs")
+        ll.start()
+        net.run(until=0.05)
+        tput = ll.throughputs_bps(until=0.05)
+        assert len(tput) == 16
+        assert all(t > 0 for t in tput)
+
+    def test_dibs_does_not_induce_unfairness(self):
+        # §5.6's point is that DIBS does not *reduce* fairness.  Absolute
+        # Jain values on a K=4 fabric are limited by ECMP collisions (some
+        # flows share fabric links), so compare DIBS on vs off instead.
+        def fairness(dibs):
+            net = Network(
+                fat_tree(k=4),
+                dibs=DibsConfig() if dibs else DibsConfig.disabled(),
+                seed=2,
+            )
+            ll = LongLivedFlows(net, 1, transport="dibs" if dibs else "dctcp")
+            ll.start()
+            net.run(until=0.1)
+            return ll.fairness(until=0.1)
+
+        with_dibs = fairness(True)
+        without = fairness(False)
+        assert with_dibs > 0.7
+        assert with_dibs >= without - 0.05
+
+    def test_empty_window_rejected(self):
+        net = small_net()
+        ll = LongLivedFlows(net, 1, transport="dibs")
+        ll.start()
+        with pytest.raises(ValueError):
+            ll.throughputs_bps(until=0.0)

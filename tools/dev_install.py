@@ -1,0 +1,56 @@
+"""Editable-install fallback for environments without the ``wheel`` package.
+
+``pip install -e .`` needs ``wheel`` (via setuptools' PEP 660 backend) to
+build the editable wheel; fully offline machines may not have it.  This
+script reproduces the observable effect of an editable install — making
+``import repro`` resolve to ``src/repro`` in the current interpreter — by
+dropping a ``.pth`` file into site-packages.
+
+Usage:  python tools/dev_install.py [--uninstall]
+"""
+
+from __future__ import annotations
+
+import argparse
+import site
+import sys
+from pathlib import Path
+
+PTH_NAME = "repro-editable.pth"
+
+
+def site_dir() -> Path:
+    for candidate in site.getsitepackages():
+        path = Path(candidate)
+        if path.is_dir() and path.name == "site-packages":
+            return path
+    return Path(site.getsitepackages()[0])
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--uninstall", action="store_true", help="remove the .pth link")
+    args = parser.parse_args()
+
+    src = Path(__file__).resolve().parent.parent / "src"
+    if not (src / "repro" / "__init__.py").exists():
+        print(f"error: {src} does not contain the repro package", file=sys.stderr)
+        return 1
+
+    pth = site_dir() / PTH_NAME
+    if args.uninstall:
+        if pth.exists():
+            pth.unlink()
+            print(f"removed {pth}")
+        else:
+            print("nothing to remove")
+        return 0
+
+    pth.write_text(str(src) + "\n")
+    print(f"wrote {pth} -> {src}")
+    print("verify with: python -c 'import repro; print(repro.__version__)'")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
