@@ -7,29 +7,39 @@ infinite-buffer line even at tiny buffers.
 """
 
 from repro.experiments import PAPER_DEFAULTS, SCALED_DEFAULTS
+from repro.experiments.parallel import RunTelemetry, run_grid
 from repro.experiments.report import format_table
-from repro.experiments.runner import run_scenario
 
 import common
 
 NAME = "fig07_buffer_sweep"
 
+SCHEMES = (("dctcp", "DCTCP"), ("dctcp-inf", "DCTCP w/ infi"), ("dibs", "DCTCP + DIBS"))
 
-def run(full: bool = False) -> str:
+
+def run(full: bool = False, workers: int = 1) -> str:
     base = (PAPER_DEFAULTS if full else SCALED_DEFAULTS).with_overrides(
         duration_s=1.0 if full else 0.2, name="fig07",
     )
     buffers = [25, 100, 300, 500, 700] if full else [5, 10, 25, 50, 100]
-    rows = []
+    cells = {}
     for buffer_pkts in buffers:
-        row = {"buffer_pkts": buffer_pkts}
         threshold = max(2, min(base.ecn_threshold_pkts, buffer_pkts // 3))
-        for scheme, label in (("dctcp", "DCTCP"), ("dctcp-inf", "DCTCP w/ infi"), ("dibs", "DCTCP + DIBS")):
-            scenario = base.with_overrides(
+        for scheme, _label in SCHEMES:
+            cells[(buffer_pkts, scheme)] = base.with_overrides(
                 scheme=scheme, buffer_pkts=buffer_pkts, ecn_threshold_pkts=threshold,
                 name=f"fig07:{scheme}:{buffer_pkts}",
             )
-            result = run_scenario(scenario)
+    telemetry = RunTelemetry()
+    results = run_grid(cells, seeds=(0,), workers=workers, telemetry=telemetry)
+    rows = []
+    for buffer_pkts in buffers:
+        row = {"buffer_pkts": buffer_pkts}
+        for scheme, label in SCHEMES:
+            result = results.get((buffer_pkts, scheme))
+            if result is None:  # permanently failed run (see telemetry)
+                row[f"{label} qct_p99_ms"] = "!"
+                continue
             qct = result.qct_p99_ms
             row[f"{label} qct_p99_ms"] = f"{qct:.2f}" if qct is not None else "-"
             if scheme != "dctcp-inf":
@@ -40,7 +50,7 @@ def run(full: bool = False) -> str:
         "Paper shape: DIBS tracks the infinite-buffer line down to tiny\n"
         "buffers; DCTCP alone blows up as the buffer shrinks."
     )
-    return format_table(rows, title=title)
+    return format_table(rows, title=title) + "\n\n" + telemetry.summary()
 
 
 def test_fig07_buffer_sweep(benchmark):

@@ -17,12 +17,13 @@ import common
 NAME = "fig16_pfabric"
 
 
-def run(full: bool = False) -> str:
+def run(full: bool = False, workers: int = 1) -> str:
     base = (PAPER_DEFAULTS if full else SCALED_DEFAULTS).with_overrides(
         duration_s=1.0 if full else 0.2, bg_interarrival_s=0.120, name="fig16",
     )
     values = [300, 500, 1000, 1500, 2000] if full else [40, 65, 125, 190, 250]
-    results = sweep(base, "qps", values, schemes=("pfabric", "dibs"), seeds=(0, 1, 2))
+    results = sweep(base, "qps", values, schemes=("pfabric", "dibs"), seeds=(0, 1, 2),
+                    workers=workers)
     title = (
         "Figure 16(a,b): DIBS vs pFabric across query arrival rate.\n"
         "Paper shape: pFabric's large-background-flow FCT grows sharply with\n"
@@ -35,16 +36,16 @@ def run(full: bool = False) -> str:
         results, "qps", title=title,
         metrics=("qct_p99_ms", "bg_fct_large_p99_ms"),
     )
-    table += "\n\n" + _deep_incast_table(base, full)
+    table += "\n\n" + _deep_incast_table(base, full, workers)
     return table
 
 
-def _deep_incast_table(base, full: bool) -> str:
+def _deep_incast_table(base, full: bool, workers: int = 1) -> str:
     """The regime where the paper sees DIBS edge out pFabric on QCT:
     bursts much deeper than pFabric's 24-packet queues put pFabric into
     its excessive-retransmission mode (§5.8)."""
+    from repro.experiments.parallel import run_grid
     from repro.experiments.report import format_table
-    from repro.experiments.runner import run_scenario
 
     deep = base.with_overrides(
         incast_degree=100 if full else 15,
@@ -53,9 +54,11 @@ def _deep_incast_table(base, full: bool) -> str:
         duration_s=0.5 if full else 0.15,
         name="fig16-deep",
     )
+    cells = {scheme: deep.with_overrides(scheme=scheme) for scheme in ("pfabric", "dibs")}
+    results = run_grid(cells, seeds=(0,), workers=workers)
     rows = []
     for scheme in ("pfabric", "dibs"):
-        result = run_scenario(deep.with_overrides(scheme=scheme))
+        result = results[scheme]
         qct = result.qct_p99_ms
         rows.append(
             {

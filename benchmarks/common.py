@@ -15,6 +15,7 @@ Every ``bench_*.py`` regenerates one paper artifact.  Conventions:
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from pathlib import Path
 
@@ -44,12 +45,23 @@ def bench_entry(benchmark, name: str, run_fn) -> None:
 
 
 def cli_main(name: str, run_fn) -> None:
-    """Standard ``python bench_x.py [--full]`` entry point."""
+    """Standard ``python bench_x.py [--full] [--workers N]`` entry point.
+
+    ``--workers`` is forwarded only to benches whose ``run`` accepts it
+    (the sweep-heavy ones fan their grid out across worker processes).
+    """
     parser = argparse.ArgumentParser(description=f"Regenerate {name}")
     parser.add_argument("--full", action="store_true",
                         help="use the paper's full-scale parameters (slow)")
+    kwargs = {}
+    accepts_workers = "workers" in inspect.signature(run_fn).parameters
+    if accepts_workers:
+        parser.add_argument("--workers", type=int, default=1,
+                            help="worker processes for the sweep grid (1 = serial)")
     args = parser.parse_args()
-    text = run_fn(full=args.full)
+    if accepts_workers:
+        kwargs["workers"] = args.workers
+    text = run_fn(full=args.full, **kwargs)
     save_table(name + ("-full" if args.full else ""), text)
     print(text)
     sys.stdout.flush()

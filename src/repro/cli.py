@@ -12,7 +12,12 @@ Examples::
     python -m repro run --scheme dibs --qps 125 --seeds 0,1,2
     python -m repro sweep --param buffer_pkts --values 5,10,25,50 \
         --schemes dctcp,dibs
+    python -m repro sweep --param qps --values 40,125,250 --seeds 0,1,2 \
+        --workers 4 --run-timeout 300
     python -m repro topo --topology fattree --k 8
+
+``--workers N`` fans the (value x scheme x seed) grid out over N worker
+processes (results identical to serial; see repro.experiments.parallel).
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.experiments.parallel import RunTelemetry
 from repro.experiments.report import format_sweep, format_table
 from repro.experiments.runner import run_pooled
 from repro.experiments.scenarios import PAPER_DEFAULTS, SCALED_DEFAULTS, SCHEMES, Scenario
@@ -54,6 +60,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="run one scenario")
     _add_scenario_args(run_p)
     run_p.add_argument("--seeds", default="0", help="comma-separated seeds to pool (default: 0)")
+    _add_parallel_args(run_p)
 
     sweep_p = sub.add_parser("sweep", help="sweep a scenario parameter")
     _add_scenario_args(sweep_p)
@@ -61,6 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--values", required=True, help="comma-separated values")
     sweep_p.add_argument("--schemes", default="dctcp,dibs", help="comma-separated schemes")
     sweep_p.add_argument("--seeds", default="0", help="comma-separated seeds to pool")
+    _add_parallel_args(sweep_p)
 
     sub.add_parser("schemes", help="list schemes and defaults")
 
@@ -84,6 +92,14 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-query", action="store_true", help="disable query traffic")
     parser.add_argument("--detour-policy", default=None,
                         choices=["random", "load-aware", "flow-based", "probabilistic"])
+
+
+def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for (value x scheme x seed) fan-out "
+                             "(1 = serial; results are identical either way)")
+    parser.add_argument("--run-timeout", type=float, default=None, dest="run_timeout",
+                        help="per-run timeout in wall-clock seconds (parallel mode)")
 
 
 def _scenario_from_args(args: argparse.Namespace) -> Scenario:
@@ -119,7 +135,12 @@ def _parse_values(text: str):
 
 def _cmd_run(args: argparse.Namespace) -> str:
     scenario = _scenario_from_args(args)
-    result = run_pooled(scenario, seeds=_parse_seeds(args.seeds))
+    result = run_pooled(
+        scenario,
+        seeds=_parse_seeds(args.seeds),
+        workers=args.workers,
+        run_timeout_s=args.run_timeout,
+    )
     rows = [result.row()]
     rows[0]["flows"] = f"{result.flows_completed}/{result.flows_total}"
     rows[0]["events"] = result.events
@@ -129,14 +150,19 @@ def _cmd_run(args: argparse.Namespace) -> str:
 
 def _cmd_sweep(args: argparse.Namespace) -> str:
     scenario = _scenario_from_args(args)
+    telemetry = RunTelemetry()
     results = run_sweep(
         scenario,
         args.param,
         _parse_values(args.values),
         schemes=tuple(s.strip() for s in args.schemes.split(",")),
         seeds=_parse_seeds(args.seeds),
+        workers=args.workers,
+        run_timeout_s=args.run_timeout,
+        telemetry=telemetry,
     )
-    return format_sweep(results, args.param, title=f"sweep over {args.param}")
+    table = format_sweep(results, args.param, title=f"sweep over {args.param}")
+    return table + "\n\n" + telemetry.summary()
 
 
 def _cmd_schemes() -> str:

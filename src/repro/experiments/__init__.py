@@ -1,8 +1,24 @@
-"""Experiment harness: scenarios, runner, sweeps, reports."""
+"""Experiment harness: scenarios, runner, parallel executor, sweeps, reports."""
 
+from repro.experiments.parallel import (
+    RunFailure,
+    RunProgress,
+    RunRequest,
+    RunTelemetry,
+    default_workers,
+    execute_runs,
+    run_grid,
+)
 from repro.experiments.registry import ARTIFACTS, Artifact
 from repro.experiments.report import format_cdf, format_sweep, format_table
-from repro.experiments.runner import ExperimentResult, run_pooled, run_scenario
+from repro.experiments.runner import (
+    ExperimentResult,
+    merge_results,
+    result_from_dict,
+    result_to_dict,
+    run_pooled,
+    run_scenario,
+)
 from repro.experiments.scenarios import PAPER_DEFAULTS, SCALED_DEFAULTS, SCHEMES, Scenario
 from repro.experiments.sweep import PAPER_RANGES, SCALED_RANGES, compare_schemes, sweep
 
@@ -14,6 +30,9 @@ __all__ = [
     "ExperimentResult",
     "run_scenario",
     "run_pooled",
+    "merge_results",
+    "result_to_dict",
+    "result_from_dict",
     "ARTIFACTS",
     "Artifact",
     "sweep",
@@ -23,4 +42,11 @@ __all__ = [
     "format_table",
     "format_sweep",
     "format_cdf",
+    "RunRequest",
+    "RunProgress",
+    "RunFailure",
+    "RunTelemetry",
+    "execute_runs",
+    "run_grid",
+    "default_workers",
 ]

@@ -1,0 +1,468 @@
+"""Parallel sweep execution: fan (value x scheme x seed) runs across processes.
+
+The sweep grids behind Figures 7–16 are embarrassingly parallel — every
+(parameter value, scheme, seed) cell is an independent simulation.  This
+module fans those runs out over worker processes while preserving the exact
+semantics of the serial path:
+
+* **Determinism** — every run is keyed; per-cell results are merged in seed
+  order by :func:`repro.experiments.runner.merge_results`, the same pooling
+  the serial ``run_pooled`` uses.  Same seeds ⇒ bit-identical pooled
+  percentiles and counters, independent of worker count or completion order.
+* **Isolation** — one process per run, so a crashing or wedged simulation
+  cannot take the sweep down.  A crashed, raising, or timed-out run is
+  retried up to ``max_retries`` times and then recorded in
+  :class:`RunTelemetry` instead of raising.
+* **Degradation** — ``workers=1``, or a platform where multiprocessing
+  offers neither ``fork`` nor ``spawn``, runs everything serially
+  in-process with identical results and the same telemetry shape.
+
+Scenarios cross the process boundary as plain dicts (``dataclasses.asdict``
+of the frozen :class:`~repro.experiments.scenarios.Scenario` built via
+``with_overrides``) and results come back as plain dicts
+(:func:`~repro.experiments.runner.result_to_dict`), rehydrated by the
+parent, so the wire protocol works under both start methods.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+import time
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, Hashable, Mapping, Optional, Sequence
+
+from repro.experiments.runner import (
+    ExperimentResult,
+    merge_results,
+    result_from_dict,
+    result_to_dict,
+    run_scenario,
+)
+from repro.experiments.scenarios import Scenario
+
+__all__ = [
+    "RunRequest",
+    "RunFailure",
+    "RunProgress",
+    "RunTelemetry",
+    "execute_runs",
+    "run_grid",
+    "pooled_parallel",
+    "default_workers",
+]
+
+ProgressHook = Callable[["RunProgress"], None]
+
+# How long to keep draining the result queue for a worker that exited
+# before its (possibly buffered) message surfaced.
+_CRASH_DRAIN_S = 0.25
+_POLL_S = 0.05
+
+
+def default_workers() -> int:
+    """A sensible default worker count: all cores but one, at least 1."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+# ----------------------------------------------------------------------
+# protocol records
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunRequest:
+    """One unit of work: a fully specified scenario plus a result key."""
+
+    key: Hashable
+    scenario: Scenario
+    trace_paths: bool = False
+
+
+@dataclass
+class RunFailure:
+    """A run that exhausted its retry budget."""
+
+    key: Hashable
+    attempts: int
+    reason: str
+
+    def as_dict(self) -> dict:
+        return {"key": str(self.key), "attempts": self.attempts, "reason": self.reason}
+
+
+@dataclass
+class RunProgress:
+    """Snapshot handed to the progress hook each time a run settles."""
+
+    key: Hashable
+    status: str  # "ok" | "retry" | "failed"
+    attempt: int
+    completed: int
+    total: int
+    wall_seconds: float
+    events: int
+
+
+@dataclass
+class RunTelemetry:
+    """Aggregate execution telemetry for one sweep/pool invocation.
+
+    ``wall_seconds`` is executor wall-clock; ``run_seconds`` is the sum of
+    per-run wall time (≈ CPU time claimed across workers), so their ratio
+    is the achieved parallel speedup.
+    """
+
+    workers: int = 1
+    mode: str = "serial"  # "serial" | "parallel"
+    runs_total: int = 0
+    runs_completed: int = 0
+    runs_failed: int = 0
+    retries: int = 0
+    events_total: int = 0
+    wall_seconds: float = 0.0
+    run_seconds: float = 0.0
+    per_run_wall: Dict[str, float] = field(default_factory=dict)
+    failure_counts: Dict[str, int] = field(default_factory=dict)
+    failures: list = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def events_per_second(self) -> float:
+        """Simulator events processed per executor wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events_total / self.wall_seconds
+
+    @property
+    def speedup(self) -> float:
+        """Achieved run-time compression vs strictly serial execution."""
+        if self.wall_seconds <= 0:
+            return 1.0
+        return self.run_seconds / self.wall_seconds
+
+    # ------------------------------------------------------------------
+    def record_success(self, key: Hashable, wall: float, events: int) -> None:
+        self.runs_completed += 1
+        self.events_total += events
+        self.run_seconds += wall
+        self.per_run_wall[str(key)] = wall
+
+    def record_retry(self, reason: str, wall: float) -> None:
+        self.retries += 1
+        self.run_seconds += wall
+        self.failure_counts[reason] = self.failure_counts.get(reason, 0) + 1
+
+    def record_failure(self, key: Hashable, attempts: int, reason: str, wall: float) -> None:
+        self.runs_failed += 1
+        self.run_seconds += wall
+        self.failure_counts[reason] = self.failure_counts.get(reason, 0) + 1
+        self.failures.append(RunFailure(key=key, attempts=attempts, reason=reason))
+
+    def as_dict(self) -> dict:
+        """Plain-builtin view for JSON export (see ``metrics.export``)."""
+        return {
+            "workers": self.workers,
+            "mode": self.mode,
+            "runs_total": self.runs_total,
+            "runs_completed": self.runs_completed,
+            "runs_failed": self.runs_failed,
+            "retries": self.retries,
+            "events_total": self.events_total,
+            "events_per_second": self.events_per_second,
+            "wall_seconds": self.wall_seconds,
+            "run_seconds": self.run_seconds,
+            "speedup": self.speedup,
+            "per_run_wall": dict(self.per_run_wall),
+            "failure_counts": dict(self.failure_counts),
+            "failures": [f.as_dict() for f in self.failures],
+        }
+
+    def summary(self) -> str:
+        """One-line human summary for CLI/bench footers."""
+        line = (
+            f"{self.runs_completed}/{self.runs_total} runs ok"
+            f" ({self.mode}, workers={self.workers})"
+            f" | {self.events_total} events @ {self.events_per_second:,.0f}/s"
+            f" | wall {self.wall_seconds:.1f}s, speedup {self.speedup:.2f}x"
+        )
+        if self.runs_failed or self.retries:
+            line += f" | retries {self.retries}, failed {self.runs_failed}"
+        return line
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def _worker_entry(out_queue, launch_id: int, scenario_dict: dict, trace_paths: bool) -> None:
+    """Executed inside the worker process: rehydrate, simulate, report.
+
+    Every outcome — success or any exception — is reported through the
+    queue; an unreported death is how the parent recognizes a crash.
+    """
+    try:
+        scenario = Scenario(**scenario_dict)
+        result = run_scenario(scenario, trace_paths=trace_paths)
+        out_queue.put((launch_id, "ok", result_to_dict(result, include_scenario=False)))
+    except BaseException as exc:  # noqa: BLE001 - the whole point is containment
+        out_queue.put((launch_id, "error", f"{type(exc).__name__}: {exc}"))
+
+
+@dataclass
+class _Launch:
+    proc: object
+    request: RunRequest
+    attempt: int
+    started: float
+
+
+def _mp_context():
+    for method in ("fork", "spawn"):
+        try:
+            return multiprocessing.get_context(method)
+        except ValueError:  # pragma: no cover - platform dependent
+            continue
+    return None  # pragma: no cover - no multiprocessing at all
+
+
+# ----------------------------------------------------------------------
+# executor
+# ----------------------------------------------------------------------
+def execute_runs(
+    requests: Sequence[RunRequest],
+    workers: int = 1,
+    timeout_s: Optional[float] = None,
+    max_retries: int = 1,
+    progress: Optional[ProgressHook] = None,
+    telemetry: Optional[RunTelemetry] = None,
+) -> Dict[Hashable, ExperimentResult]:
+    """Execute every request, serially or across worker processes.
+
+    Returns results keyed by ``request.key``; permanently failed runs are
+    *absent* from the mapping and recorded in ``telemetry.failures``.  A run
+    is retried ``max_retries`` times after its first failure (crash, raised
+    exception, or ``timeout_s`` exceeded) before being declared failed.
+    """
+    if telemetry is None:
+        telemetry = RunTelemetry()
+    telemetry.runs_total = len(requests)
+    telemetry.workers = max(1, workers)
+    started = time.perf_counter()
+    ctx = _mp_context() if workers > 1 else None
+    if ctx is None:
+        telemetry.mode = "serial"
+        telemetry.workers = 1
+        results = _execute_serial(requests, max_retries, progress, telemetry)
+    else:
+        telemetry.mode = "parallel"
+        results = _execute_parallel(requests, workers, timeout_s, max_retries, progress, telemetry, ctx)
+    telemetry.wall_seconds = time.perf_counter() - started
+    return results
+
+
+def _notify(progress: Optional[ProgressHook], event: RunProgress) -> None:
+    if progress is not None:
+        progress(event)
+
+
+def _execute_serial(requests, max_retries, progress, telemetry) -> Dict[Hashable, ExperimentResult]:
+    results: Dict[Hashable, ExperimentResult] = {}
+    total = len(requests)
+    for request in requests:
+        attempt = 0
+        while True:
+            attempt += 1
+            run_started = time.perf_counter()
+            try:
+                result = run_scenario(request.scenario, trace_paths=request.trace_paths)
+            except Exception as exc:
+                wall = time.perf_counter() - run_started
+                reason = f"{type(exc).__name__}: {exc}"
+                if attempt <= max_retries:
+                    telemetry.record_retry(reason, wall)
+                    _notify(progress, RunProgress(request.key, "retry", attempt,
+                                                  len(results), total, wall, 0))
+                    continue
+                telemetry.record_failure(request.key, attempt, reason, wall)
+                _notify(progress, RunProgress(request.key, "failed", attempt,
+                                              len(results), total, wall, 0))
+                break
+            wall = time.perf_counter() - run_started
+            results[request.key] = result
+            telemetry.record_success(request.key, wall, result.events)
+            _notify(progress, RunProgress(request.key, "ok", attempt,
+                                          len(results), total, wall, result.events))
+            break
+    return results
+
+
+def _execute_parallel(requests, workers, timeout_s, max_retries, progress, telemetry, ctx):
+    out_queue = ctx.Queue()
+    pending: deque = deque((request, 1) for request in requests)
+    running: Dict[int, _Launch] = {}
+    results: Dict[Hashable, ExperimentResult] = {}
+    total = len(requests)
+    next_launch_id = 0
+
+    def launch(request: RunRequest, attempt: int) -> None:
+        nonlocal next_launch_id
+        launch_id = next_launch_id
+        next_launch_id += 1
+        proc = ctx.Process(
+            target=_worker_entry,
+            args=(out_queue, launch_id, asdict(request.scenario), request.trace_paths),
+            daemon=True,
+        )
+        proc.start()
+        running[launch_id] = _Launch(proc, request, attempt, time.perf_counter())
+
+    def settle_failure(entry: _Launch, reason: str, wall: float) -> None:
+        if entry.attempt <= max_retries:
+            telemetry.record_retry(reason, wall)
+            _notify(progress, RunProgress(entry.request.key, "retry", entry.attempt,
+                                          len(results), total, wall, 0))
+            pending.append((entry.request, entry.attempt + 1))
+        else:
+            telemetry.record_failure(entry.request.key, entry.attempt, reason, wall)
+            _notify(progress, RunProgress(entry.request.key, "failed", entry.attempt,
+                                          len(results), total, wall, 0))
+
+    def handle_message(message) -> None:
+        launch_id, status, payload = message
+        entry = running.pop(launch_id, None)
+        if entry is None:
+            return  # stale message from a launch already settled (e.g. timed out)
+        entry.proc.join()
+        wall = time.perf_counter() - entry.started
+        if status == "ok":
+            result = result_from_dict(payload, scenario=entry.request.scenario)
+            results[entry.request.key] = result
+            telemetry.record_success(entry.request.key, wall, result.events)
+            _notify(progress, RunProgress(entry.request.key, "ok", entry.attempt,
+                                          len(results), total, wall, result.events))
+        else:
+            settle_failure(entry, payload, wall)
+
+    def drain(block_s: float = 0.0) -> None:
+        deadline = time.perf_counter() + block_s
+        while True:
+            try:
+                handle_message(out_queue.get_nowait())
+            except queue_mod.Empty:
+                if time.perf_counter() >= deadline:
+                    return
+                time.sleep(0.01)
+
+    while pending or running:
+        while pending and len(running) < workers:
+            request, attempt = pending.popleft()
+            launch(request, attempt)
+        try:
+            handle_message(out_queue.get(timeout=_POLL_S))
+        except queue_mod.Empty:
+            pass
+        drain()
+        now = time.perf_counter()
+        for launch_id in list(running):
+            entry = running.get(launch_id)
+            if entry is None:
+                continue
+            if timeout_s is not None and now - entry.started > timeout_s:
+                entry.proc.terminate()
+                entry.proc.join()
+                running.pop(launch_id, None)
+                settle_failure(entry, f"timeout after {timeout_s:g}s", now - entry.started)
+            elif not entry.proc.is_alive():
+                # The worker exited; its message may still be buffered in the
+                # queue's feeder pipe, so give it a moment to surface before
+                # declaring an unreported death (i.e. a crash).
+                drain(block_s=_CRASH_DRAIN_S)
+                if launch_id in running:
+                    entry.proc.join()
+                    running.pop(launch_id, None)
+                    settle_failure(entry, f"worker crashed (exit code {entry.proc.exitcode})",
+                                   time.perf_counter() - entry.started)
+    out_queue.close()
+    return results
+
+
+# ----------------------------------------------------------------------
+# grid-level helpers
+# ----------------------------------------------------------------------
+def run_grid(
+    cells: Mapping[Hashable, Scenario],
+    seeds: Sequence[int] = (0,),
+    workers: int = 1,
+    timeout_s: Optional[float] = None,
+    max_retries: int = 1,
+    trace_paths: bool = False,
+    progress: Optional[ProgressHook] = None,
+    telemetry: Optional[RunTelemetry] = None,
+) -> Dict[Hashable, ExperimentResult]:
+    """Run every (cell, seed) combination and pool seeds per cell.
+
+    ``cells`` maps a caller-chosen key to the cell's base scenario.  Fan-out
+    happens at (cell, seed) granularity — the finest unit — and each cell's
+    per-seed results are merged in ``seeds`` order, so the pooled output is
+    identical to calling the serial ``run_pooled`` per cell.  Cells whose
+    every seed failed are absent from the returned mapping (see
+    ``telemetry.failures``).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    requests = [
+        RunRequest(
+            key=(cell_key, seed),
+            scenario=scenario.with_overrides(seed=seed),
+            trace_paths=trace_paths,
+        )
+        for cell_key, scenario in cells.items()
+        for seed in seeds
+    ]
+    raw = execute_runs(
+        requests,
+        workers=workers,
+        timeout_s=timeout_s,
+        max_retries=max_retries,
+        progress=progress,
+        telemetry=telemetry,
+    )
+    merged: Dict[Hashable, ExperimentResult] = {}
+    for cell_key, scenario in cells.items():
+        per_seed = [raw[(cell_key, seed)] for seed in seeds if (cell_key, seed) in raw]
+        if per_seed:
+            merged[cell_key] = merge_results(scenario, per_seed)
+    return merged
+
+
+def pooled_parallel(
+    scenario: Scenario,
+    seeds: Sequence[int],
+    workers: int,
+    timeout_s: Optional[float] = None,
+    max_retries: int = 1,
+    trace_paths: bool = False,
+    progress: Optional[ProgressHook] = None,
+    telemetry: Optional[RunTelemetry] = None,
+) -> ExperimentResult:
+    """Parallel counterpart of ``run_pooled`` for one scenario's seeds.
+
+    Seeds that fail permanently are dropped from the pool (and recorded in
+    telemetry); if *every* seed fails, raises ``RuntimeError``.
+    """
+    if telemetry is None:
+        telemetry = RunTelemetry()
+    grid = run_grid(
+        {"pooled": scenario},
+        seeds=seeds,
+        workers=workers,
+        timeout_s=timeout_s,
+        max_retries=max_retries,
+        trace_paths=trace_paths,
+        progress=progress,
+        telemetry=telemetry,
+    )
+    if "pooled" not in grid:
+        reasons = "; ".join(f.reason for f in telemetry.failures) or "unknown"
+        raise RuntimeError(f"every seed run failed for {scenario.name!r}: {reasons}")
+    return grid["pooled"]

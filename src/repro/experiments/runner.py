@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import asdict, dataclass, field, fields
+from typing import Optional, Sequence
 
 from repro.experiments.scenarios import Scenario
 from repro.metrics.stats import percentile
@@ -12,7 +12,14 @@ from repro.workload.background import BackgroundTraffic
 from repro.workload.distributions import web_search_background
 from repro.workload.query import QueryTraffic
 
-__all__ = ["ExperimentResult", "run_scenario", "run_pooled"]
+__all__ = [
+    "ExperimentResult",
+    "run_scenario",
+    "run_pooled",
+    "merge_results",
+    "result_to_dict",
+    "result_from_dict",
+]
 
 
 @dataclass
@@ -146,37 +153,117 @@ def run_scenario(scenario: Scenario, trace_paths: bool = False) -> ExperimentRes
     return result
 
 
-def run_pooled(scenario: Scenario, seeds=(0,), trace_paths: bool = False) -> ExperimentResult:
+# Scalar counters summed when pooling seeds.  Kept in one place so the
+# serial and parallel mergers cannot drift apart.
+_SUM_FIELDS = (
+    "bg_large_total",
+    "bg_large_completed",
+    "queries_started",
+    "queries_completed",
+    "bg_flows_started",
+    "flows_completed",
+    "flows_total",
+    "detours",
+    "ecn_marks",
+    "timeouts",
+    "retransmits",
+    "events",
+    "wall_seconds",
+)
+
+_SAMPLE_FIELDS = ("qct_values", "bg_fct_short_values", "bg_fct_large_values")
+
+
+def merge_results(scenario: Scenario, results: Sequence[ExperimentResult]) -> ExperimentResult:
+    """Pool per-seed results into a *fresh* :class:`ExperimentResult`.
+
+    Samples concatenate in the order given (callers pass seed order, which
+    makes pooled percentiles deterministic regardless of which process or
+    worker produced each piece); counters are summed.  The inputs are not
+    mutated, so per-seed results stay usable by callers, and the merged
+    result carries ``scenario`` — the base point, without any per-seed
+    overrides.
+    """
+    if not results:
+        raise ValueError("need at least one result to merge")
+    merged = ExperimentResult(scenario=scenario)
+    for result in results:
+        for name in _SAMPLE_FIELDS:
+            getattr(merged, name).extend(getattr(result, name))
+        for key, value in result.drops.items():
+            merged.drops[key] = merged.drops.get(key, 0) + value
+        for name in _SUM_FIELDS:
+            setattr(merged, name, getattr(merged, name) + getattr(result, name))
+    return merged
+
+
+def result_to_dict(result: ExperimentResult, include_scenario: bool = True) -> dict:
+    """Flatten a result into plain builtins for a process boundary.
+
+    The parallel executor ships results back from workers as dicts so the
+    protocol stays identical under ``fork`` and ``spawn`` start methods.
+    """
+    payload = {
+        f.name: getattr(result, f.name)
+        for f in fields(ExperimentResult)
+        if f.name != "scenario"
+    }
+    payload["drops"] = dict(result.drops)
+    for name in _SAMPLE_FIELDS:
+        payload[name] = list(payload[name])
+    if include_scenario:
+        payload["scenario"] = asdict(result.scenario)
+    return payload
+
+
+def result_from_dict(payload: dict, scenario: Optional[Scenario] = None) -> ExperimentResult:
+    """Rehydrate :func:`result_to_dict` output.
+
+    ``scenario`` overrides any serialized scenario (the executor reattaches
+    the original object it already holds rather than trusting the wire).
+    """
+    data = dict(payload)
+    serialized = data.pop("scenario", None)
+    if scenario is None:
+        if serialized is None:
+            raise ValueError("payload carries no scenario and none was given")
+        scenario = Scenario(**serialized)
+    return ExperimentResult(scenario=scenario, **data)
+
+
+def run_pooled(
+    scenario: Scenario,
+    seeds=(0,),
+    trace_paths: bool = False,
+    workers: int = 1,
+    run_timeout_s: Optional[float] = None,
+    max_retries: int = 1,
+) -> ExperimentResult:
     """Run the scenario once per seed and pool the samples.
 
     Tail percentiles (the paper's 99th) are noisy on short scaled runs;
     pooling QCT/FCT samples over independent seeds recovers a stable tail
     without simulating paper-length runs.  Counters are summed.
+
+    With ``workers > 1`` the per-seed runs execute in parallel worker
+    processes (see :mod:`repro.experiments.parallel`); the merged result is
+    identical to the serial one for the same seeds.
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    merged: Optional[ExperimentResult] = None
-    for seed in seeds:
-        result = run_scenario(scenario.with_overrides(seed=seed), trace_paths=trace_paths)
-        if merged is None:
-            merged = result
-            continue
-        merged.qct_values.extend(result.qct_values)
-        merged.bg_fct_short_values.extend(result.bg_fct_short_values)
-        merged.bg_fct_large_values.extend(result.bg_fct_large_values)
-        merged.bg_large_total += result.bg_large_total
-        merged.bg_large_completed += result.bg_large_completed
-        merged.queries_started += result.queries_started
-        merged.queries_completed += result.queries_completed
-        merged.bg_flows_started += result.bg_flows_started
-        merged.flows_completed += result.flows_completed
-        merged.flows_total += result.flows_total
-        for key, value in result.drops.items():
-            merged.drops[key] = merged.drops.get(key, 0) + value
-        merged.detours += result.detours
-        merged.ecn_marks += result.ecn_marks
-        merged.timeouts += result.timeouts
-        merged.retransmits += result.retransmits
-        merged.events += result.events
-        merged.wall_seconds += result.wall_seconds
-    return merged
+    if workers > 1:
+        from repro.experiments.parallel import pooled_parallel
+
+        return pooled_parallel(
+            scenario,
+            seeds,
+            workers=workers,
+            timeout_s=run_timeout_s,
+            max_retries=max_retries,
+            trace_paths=trace_paths,
+        )
+    results = [
+        run_scenario(scenario.with_overrides(seed=seed), trace_paths=trace_paths)
+        for seed in seeds
+    ]
+    return merge_results(scenario, results)

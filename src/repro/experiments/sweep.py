@@ -9,9 +9,10 @@ Figures 7–16.  The ranges of Table 2 are recorded in
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
-from repro.experiments.runner import ExperimentResult, run_pooled, run_scenario
+from repro.experiments.parallel import ProgressHook, RunTelemetry, run_grid
+from repro.experiments.runner import ExperimentResult
 from repro.experiments.scenarios import Scenario
 
 __all__ = ["sweep", "compare_schemes", "PAPER_RANGES", "SCALED_RANGES"]
@@ -47,33 +48,55 @@ def sweep(
     values: Iterable,
     schemes: Sequence[str] = ("dctcp", "dibs"),
     seeds: Sequence[int] = (0,),
+    workers: int = 1,
+    run_timeout_s: Optional[float] = None,
+    max_retries: int = 1,
+    progress: Optional[ProgressHook] = None,
+    telemetry: Optional[RunTelemetry] = None,
 ) -> dict[tuple[object, str], ExperimentResult]:
     """Run ``base`` once per (value, scheme, seed) combination, pooling
     seeds into one result per (value, scheme).
 
     ``parameter`` must be a :class:`Scenario` field name.  Results are
     keyed by ``(value, scheme)``.
+
+    The grid executes through :mod:`repro.experiments.parallel`: with
+    ``workers > 1`` the (value, scheme, seed) runs fan out across worker
+    processes — pooled results are identical to the serial run for the same
+    seeds — and a run that crashes or exceeds ``run_timeout_s`` is retried
+    ``max_retries`` times, then recorded in ``telemetry`` (its cell is
+    pooled from the surviving seeds, or omitted if none survive).
     """
     if not hasattr(base, parameter):
         raise ValueError(f"scenario has no parameter {parameter!r}")
-    results: dict[tuple[object, str], ExperimentResult] = {}
+    cells: dict[tuple[object, str], Scenario] = {}
     for value in values:
         for scheme in schemes:
-            scenario = base.with_overrides(
+            cells[(value, scheme)] = base.with_overrides(
                 **{parameter: value},
                 scheme=scheme,
                 name=f"{base.name}:{parameter}={value}:{scheme}",
             )
-            results[(value, scheme)] = run_pooled(scenario, seeds=seeds)
-    return results
+    return run_grid(
+        cells,
+        seeds=seeds,
+        workers=workers,
+        timeout_s=run_timeout_s,
+        max_retries=max_retries,
+        progress=progress,
+        telemetry=telemetry,
+    )
 
 
 def compare_schemes(
-    base: Scenario, schemes: Sequence[str], seeds: Sequence[int] = (0,)
+    base: Scenario,
+    schemes: Sequence[str],
+    seeds: Sequence[int] = (0,),
+    workers: int = 1,
 ) -> dict[str, ExperimentResult]:
     """Run the same operating point under several schemes."""
-    out = {}
-    for scheme in schemes:
-        scenario = base.with_overrides(scheme=scheme, name=f"{base.name}:{scheme}")
-        out[scheme] = run_pooled(scenario, seeds=seeds)
-    return out
+    cells = {
+        scheme: base.with_overrides(scheme=scheme, name=f"{base.name}:{scheme}")
+        for scheme in schemes
+    }
+    return run_grid(cells, seeds=seeds, workers=workers)

@@ -9,6 +9,7 @@ from repro.metrics.collector import (
 )
 from repro.metrics.export import (
     export_result_json,
+    export_telemetry_json,
     flows_to_records,
     queries_to_records,
     write_flows_csv,
@@ -26,6 +27,7 @@ __all__ = [
     "KIND_LONG",
     "FabricSampler",
     "export_result_json",
+    "export_telemetry_json",
     "flows_to_records",
     "queries_to_records",
     "write_flows_csv",

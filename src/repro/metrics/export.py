@@ -14,11 +14,12 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Union
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.parallel import RunTelemetry
     from repro.experiments.runner import ExperimentResult
     from repro.metrics.collector import MetricsCollector
 
 __all__ = ["flows_to_records", "queries_to_records", "write_flows_csv",
-           "write_queries_csv", "export_result_json"]
+           "write_queries_csv", "export_result_json", "export_telemetry_json"]
 
 PathLike = Union[str, Path]
 
@@ -114,4 +115,12 @@ def export_result_json(result: "ExperimentResult", path: PathLike) -> Path:
     }
     out = Path(path)
     out.write_text(json.dumps(payload, indent=2, default=str))
+    return out
+
+
+def export_telemetry_json(telemetry: "RunTelemetry", path: PathLike) -> Path:
+    """Serialize sweep-execution telemetry (runs completed, events/sec,
+    per-run wall time, retry/failure counts) from the parallel executor."""
+    out = Path(path)
+    out.write_text(json.dumps(telemetry.as_dict(), indent=2, default=str))
     return out

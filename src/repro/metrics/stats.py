@@ -27,7 +27,14 @@ def percentile(values: Sequence[float], p: float) -> float:
     if lo == hi:
         return data[lo]
     frac = rank - lo
-    return data[lo] * (1.0 - frac) + data[hi] * frac
+    interpolated = data[lo] * (1.0 - frac) + data[hi] * frac
+    # Two-sided interpolation can round just outside [data[lo], data[hi]]
+    # (e.g. x*(1-f) + x*f != x for some denormal x), so clamp to the bracket.
+    if interpolated < data[lo]:
+        return data[lo]
+    if interpolated > data[hi]:
+        return data[hi]
+    return interpolated
 
 
 def mean(values: Sequence[float]) -> float:

@@ -219,7 +219,7 @@ class Network:
             for dst_name, next_hops in symbolic.items():
                 dst_id = self._nodes[dst_name].node_id
                 table[dst_id] = [self._port_index[(switch.name, hop)] for hop in next_hops]
-            switch.fib = table
+            switch.install_fib(table)
 
     # ------------------------------------------------------------------
     # lookup helpers

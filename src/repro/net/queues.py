@@ -84,6 +84,12 @@ class DropTailQueue:
         return self.capacity_pkts
 
     def clear(self) -> None:
+        """Discard all queued packets and reset ``byte_count`` to zero.
+
+        Counters (``drops``/``enqueues``) are cumulative history and are
+        deliberately *not* reset — clearing empties the buffer, it does not
+        rewrite what the queue already saw.
+        """
         self._q.clear()
         self.byte_count = 0
 
@@ -184,6 +190,11 @@ class PFabricQueue:
     def capacity_hint(self) -> int:
         return self.capacity_pkts
 
+    def clear(self) -> None:
+        """Discard all queued packets; counters keep their history."""
+        self._q.clear()
+        self.byte_count = 0
+
 
 class SharedBufferPool:
     """Switch-wide packet-memory pool for Dynamic Buffer Allocation.
@@ -283,3 +294,12 @@ class DynamicBufferQueue:
         from repro.net.packet import MTU_BYTES
 
         return max(1, self.pool.total_bytes // MTU_BYTES)
+
+    def clear(self) -> None:
+        """Discard all queued packets, returning their bytes to the shared
+        pool (without this the pool would leak the cleared occupancy);
+        counters keep their history."""
+        if self.byte_count:
+            self.pool.release(self.byte_count)
+        self._q.clear()
+        self.byte_count = 0

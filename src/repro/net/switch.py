@@ -95,10 +95,32 @@ class Switch(Node):
         self.rng = rng if rng is not None else random.Random(stable_hash(name))
         self.ecmp_mode = ecmp_mode
         self._spray_counter = 0
-        self.fib: dict[int, list[int]] = {}
+        self._fib: dict[int, list[int]] = {}
+        # Memoized flow-level ECMP picks: (dst, flow_id) -> port index.
+        # stable_hash re-encodes strings per call, which dominated the
+        # forwarding hot path; the hash is deterministic per (flow, switch)
+        # so one dict lookup replaces it.  Keyed by dst too because ACKs
+        # reuse the data packets' flow_id in the reverse direction.
+        self._ecmp_cache: dict[tuple[int, int], int] = {}
         self.counters = SwitchCounters()
         self.on_detour: Optional[Callable[[float, "Switch", Packet], None]] = None
         self.on_drop: Optional[Callable[[float, "Switch", Packet, str], None]] = None
+
+    # ------------------------------------------------------------------
+    # FIB
+    # ------------------------------------------------------------------
+    @property
+    def fib(self) -> dict[int, list[int]]:
+        return self._fib
+
+    @fib.setter
+    def fib(self, table: dict[int, list[int]]) -> None:
+        self.install_fib(table)
+
+    def install_fib(self, table: dict[int, list[int]]) -> None:
+        """Install a forwarding table, invalidating memoized ECMP picks."""
+        self._fib = table
+        self._ecmp_cache.clear()
 
     # ------------------------------------------------------------------
     # forwarding
@@ -113,7 +135,7 @@ class Switch(Node):
             self._drop(pkt, DROP_TTL)
             return
 
-        next_hops = self.fib.get(pkt.dst)
+        next_hops = self._fib.get(pkt.dst)
         if not next_hops:
             self._drop(pkt, DROP_NO_ROUTE)
             return
@@ -121,7 +143,11 @@ class Switch(Node):
         if len(next_hops) == 1:
             out_index = next_hops[0]
         elif self.ecmp_mode == "flow":
-            out_index = next_hops[stable_hash(pkt.flow_id, self.node_id) % len(next_hops)]
+            cache_key = (pkt.dst, pkt.flow_id)
+            out_index = self._ecmp_cache.get(cache_key)
+            if out_index is None:
+                out_index = next_hops[stable_hash(pkt.flow_id, self.node_id) % len(next_hops)]
+                self._ecmp_cache[cache_key] = out_index
         else:
             # Packet-level ECMP ("packet spraying", §6): round-robin over
             # equal-cost ports.  Spreads load finer than flow hashing but

@@ -75,6 +75,14 @@ class TestDropTail:
         assert len(q) == 0
         assert q.byte_count == 0
 
+    def test_clear_keeps_counter_history(self):
+        q = DropTailQueue(1)
+        q.enqueue(make_pkt(seq=0))
+        q.enqueue(make_pkt(seq=1))  # dropped
+        q.clear()
+        assert q.enqueues == 1
+        assert q.drops == 1
+
 
 class TestEcnQueue:
     def test_marks_above_threshold(self):
@@ -171,6 +179,16 @@ class TestPFabricQueue:
         q.dequeue()
         assert q.byte_count == 0
 
+    def test_clear_empties_and_keeps_counters(self):
+        q = PFabricQueue(4)
+        for i in range(4):
+            q.enqueue(make_pkt(seq=i, priority=i))
+        q.clear()
+        assert len(q) == 0
+        assert q.byte_count == 0
+        assert q.dequeue() is None
+        assert q.enqueues == 4
+
     def test_eviction_prefers_newest_among_equal_worst(self):
         q = PFabricQueue(2)
         old = make_pkt(flow=1, priority=100)
@@ -252,3 +270,17 @@ class TestDynamicBufferQueue:
         q.enqueue(make_pkt())
         pool.take(MTU_BYTES)  # another port grabbed the rest
         assert q.is_full()
+
+    def test_clear_releases_bytes_back_to_pool(self):
+        pool = SharedBufferPool(10 * MTU_BYTES)
+        a = DynamicBufferQueue(pool)
+        b = DynamicBufferQueue(pool)
+        for i in range(3):
+            a.enqueue(make_pkt(seq=i))
+        b.enqueue(make_pkt())
+        held_by_b = b.byte_count
+        a.clear()
+        # Pool accounting no longer carries a's bytes; b's are untouched.
+        assert pool.used_bytes == held_by_b
+        assert len(a) == 0 and a.byte_count == 0
+        assert len(b) == 1

@@ -38,6 +38,23 @@ class TestRunPooled:
         with pytest.raises(ValueError):
             run_pooled(TINY, seeds=())
 
+    def test_merged_result_is_fresh_and_carries_base_scenario(self):
+        # Regression: run_pooled used to mutate the first seed's result in
+        # place and return it with the seed=seeds[0] override still applied.
+        from repro.experiments.runner import merge_results
+
+        base = TINY.with_overrides(seed=7)
+        r0 = run_scenario(TINY.with_overrides(seed=0))
+        r1 = run_scenario(TINY.with_overrides(seed=1))
+        n0 = len(r0.qct_values)
+        merged = merge_results(base, [r0, r1])
+        assert merged is not r0 and merged is not r1
+        assert merged.scenario == base
+        assert len(r0.qct_values) == n0  # inputs stay usable
+        assert merged.qct_values == r0.qct_values + r1.qct_values
+        pooled = run_pooled(base, seeds=(0, 1))
+        assert pooled.scenario == base  # not seed=0's override
+
     def test_large_flow_accounting(self):
         result = run_pooled(TINY.with_overrides(bg_interarrival_s=0.01), seeds=(0,))
         assert result.bg_large_total >= result.bg_large_completed

@@ -140,6 +140,27 @@ class TestEcmp:
             picks.append(max(range(2), key=lambda i: len(sw.ports[i].queue) + sw.ports[i].pkts_sent))
         assert picks[0] == picks[1]
 
+    def test_memoized_pick_matches_hash_and_survives_repeats(self):
+        from repro.sim.rng import stable_hash
+
+        sched, sw, sinks = self.make_two_path_switch()
+        for _ in range(5):
+            sw.receive(data_pkt(flow=7), in_port=0)
+        expected = sw.fib[0][stable_hash(7, sw.node_id) % 2]
+        assert sw._ecmp_cache[(0, 7)] == expected
+
+    def test_fib_install_invalidates_ecmp_cache(self):
+        sched, sw, sinks = self.make_two_path_switch()
+        sw.receive(data_pkt(flow=7), in_port=0)
+        assert sw._ecmp_cache
+        sw.install_fib({0: [1, 0]})
+        assert not sw._ecmp_cache
+        # Direct assignment (the Network builder idiom) also invalidates.
+        sw.receive(data_pkt(flow=7), in_port=0)
+        assert sw._ecmp_cache
+        sw.fib = {0: [0, 1]}
+        assert not sw._ecmp_cache
+
 
 class TestDibsDetour:
     def test_detours_when_desired_queue_full(self):
