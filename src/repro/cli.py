@@ -47,6 +47,10 @@ _NUMERIC_FIELDS = {
     "drain_s": float,
     "oversubscription": float,
     "seed": int,
+    "link_flap_rate": float,
+    "link_flap_downtime_s": float,
+    "corrupt_rate": float,
+    "invariant_check_interval_s": float,
 }
 
 
@@ -92,6 +96,11 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-query", action="store_true", help="disable query traffic")
     parser.add_argument("--detour-policy", default=None,
                         choices=["random", "load-aware", "flow-based", "probabilistic"])
+    parser.add_argument("--faults", default=None, metavar="SPEC.json",
+                        help="JSON fault schedule (see repro.faults.schedule) "
+                             "applied to every run")
+    parser.add_argument("--no-watchdog", action="store_true",
+                        help="disable the livelock watchdog (on by default)")
 
 
 def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
@@ -115,6 +124,12 @@ def _scenario_from_args(args: argparse.Namespace) -> Scenario:
         overrides["query_enabled"] = False
     if args.detour_policy is not None:
         overrides["detour_policy"] = args.detour_policy
+    if getattr(args, "faults", None):
+        from repro.faults import load_fault_spec
+
+        overrides["faults"] = load_fault_spec(args.faults)
+    if getattr(args, "no_watchdog", False):
+        overrides["watchdog"] = False
     return base.with_overrides(**overrides)
 
 
@@ -133,22 +148,33 @@ def _parse_values(text: str):
     return values
 
 
-def _cmd_run(args: argparse.Namespace) -> str:
+def _cmd_run(args: argparse.Namespace) -> tuple[str, int]:
     scenario = _scenario_from_args(args)
-    result = run_pooled(
-        scenario,
-        seeds=_parse_seeds(args.seeds),
-        workers=args.workers,
-        run_timeout_s=args.run_timeout,
-    )
+    telemetry = RunTelemetry()
+    try:
+        result = run_pooled(
+            scenario,
+            seeds=_parse_seeds(args.seeds),
+            workers=args.workers,
+            run_timeout_s=args.run_timeout,
+            telemetry=telemetry,
+        )
+    except RuntimeError as exc:
+        # Every seed failed (e.g. a watchdog or invariant abort).
+        return f"error: {exc}\n\n{telemetry.summary()}", 1
     rows = [result.row()]
     rows[0]["flows"] = f"{result.flows_completed}/{result.flows_total}"
     rows[0]["events"] = result.events
     rows[0]["wall_s"] = f"{result.wall_seconds:.1f}"
-    return format_table(rows, title=f"scheme={scenario.scheme} (seeds={args.seeds})")
+    if result.faults_applied:
+        rows[0]["faults"] = sum(result.faults_applied.values())
+    text = format_table(rows, title=f"scheme={scenario.scheme} (seeds={args.seeds})")
+    if telemetry.runs_failed:
+        text += "\n\n" + telemetry.summary()
+    return text, 1 if telemetry.runs_failed else 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> str:
+def _cmd_sweep(args: argparse.Namespace) -> tuple[str, int]:
     scenario = _scenario_from_args(args)
     telemetry = RunTelemetry()
     results = run_sweep(
@@ -162,7 +188,7 @@ def _cmd_sweep(args: argparse.Namespace) -> str:
         telemetry=telemetry,
     )
     table = format_sweep(results, args.param, title=f"sweep over {args.param}")
-    return table + "\n\n" + telemetry.summary()
+    return table + "\n\n" + telemetry.summary(), 1 if telemetry.runs_failed else 0
 
 
 def _cmd_schemes() -> str:
@@ -190,17 +216,20 @@ def _cmd_topo(args: argparse.Namespace) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    code = 0
     if args.command == "run":
-        print(_cmd_run(args))
+        text, code = _cmd_run(args)
+        print(text)
     elif args.command == "sweep":
-        print(_cmd_sweep(args))
+        text, code = _cmd_sweep(args)
+        print(text)
     elif args.command == "schemes":
         print(_cmd_schemes())
     elif args.command == "topo":
         print(_cmd_topo(args))
     else:  # pragma: no cover - argparse enforces choices
         return 2
-    return 0
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -61,6 +61,15 @@ ProgressHook = Callable[["RunProgress"], None]
 _CRASH_DRAIN_S = 0.25
 _POLL_S = 0.05
 
+# Deterministic aborts raised by the robustness guards (repro.faults): the
+# same scenario + seed will fail identically every time, so retrying only
+# burns wall clock.  They settle as recorded failures on the first attempt.
+_NON_RETRYABLE_PREFIXES = ("LivelockError", "InvariantError")
+
+
+def _retryable(reason: str) -> bool:
+    return not reason.startswith(_NON_RETRYABLE_PREFIXES)
+
 
 def default_workers() -> int:
     """A sensible default worker count: all cores but one, at least 1."""
@@ -278,7 +287,7 @@ def _execute_serial(requests, max_retries, progress, telemetry) -> Dict[Hashable
             except Exception as exc:
                 wall = time.perf_counter() - run_started
                 reason = f"{type(exc).__name__}: {exc}"
-                if attempt <= max_retries:
+                if attempt <= max_retries and _retryable(reason):
                     telemetry.record_retry(reason, wall)
                     _notify(progress, RunProgress(request.key, "retry", attempt,
                                                   len(results), total, wall, 0))
@@ -317,7 +326,7 @@ def _execute_parallel(requests, workers, timeout_s, max_retries, progress, telem
         running[launch_id] = _Launch(proc, request, attempt, time.perf_counter())
 
     def settle_failure(entry: _Launch, reason: str, wall: float) -> None:
-        if entry.attempt <= max_retries:
+        if entry.attempt <= max_retries and _retryable(reason):
             telemetry.record_retry(reason, wall)
             _notify(progress, RunProgress(entry.request.key, "retry", entry.attempt,
                                           len(results), total, wall, 0))

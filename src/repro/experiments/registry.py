@@ -82,6 +82,8 @@ ARTIFACTS: tuple[Artifact, ...] = (
              "bench_admission_control", ("repro.workload.admission",)),
     Artifact("host stack", "SACK/delack variants vs the paper's no-fast-rtx choice",
              "bench_ablation_host_stack", ("repro.transport.tcp",)),
+    Artifact("robustness (faults)", "DIBS degrades gracefully as failed core links shrink the detour fabric",
+             "bench_fault_resilience", ("repro.faults",)),
 )
 
 

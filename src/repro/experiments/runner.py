@@ -7,6 +7,9 @@ from dataclasses import asdict, dataclass, field, fields
 from typing import Optional, Sequence
 
 from repro.experiments.scenarios import Scenario
+from repro.faults.guards import InvariantChecker
+from repro.faults.injector import install_faults
+from repro.faults.watchdog import Watchdog
 from repro.metrics.stats import percentile
 from repro.workload.background import BackgroundTraffic
 from repro.workload.distributions import web_search_background
@@ -44,6 +47,10 @@ class ExperimentResult:
     retransmits: int = 0
     events: int = 0
     wall_seconds: float = 0.0
+    # Fault-injection accounting (all zero/empty for fault-free runs).
+    faults_applied: dict[str, int] = field(default_factory=dict)
+    fault_packets_killed: int = 0
+    invariant_checks: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -106,6 +113,20 @@ def run_scenario(scenario: Scenario, trace_paths: bool = False) -> ExperimentRes
     network = scenario.build_network(trace_paths=trace_paths)
     transport = scenario.transport_config()
 
+    injector = install_faults(network, scenario)
+    if scenario.watchdog:
+        # A packet legitimately traverses at most its initial TTL switch
+        # hops; a healthy margin on top keeps the guard from ever firing on
+        # a correct run while still bounding detour loops.
+        Watchdog(network.scheduler, max_hops=scenario.ttl + 16).install(network)
+    checker = None
+    if scenario.invariant_check_interval_s > 0:
+        checker = InvariantChecker(
+            network,
+            scenario.invariant_check_interval_s,
+            stop_at=scenario.duration_s + scenario.drain_s,
+        ).start()
+
     background = None
     if scenario.bg_enabled:
         background = BackgroundTraffic(
@@ -129,6 +150,10 @@ def run_scenario(scenario: Scenario, trace_paths: bool = False) -> ExperimentRes
         query.start()
 
     network.run(until=scenario.duration_s + scenario.drain_s)
+    if checker is not None:
+        # Final sweep at quiescence, so a violation in the last partial
+        # interval cannot slip through.
+        checker.check_now()
 
     collector = network.collector
     result = ExperimentResult(scenario=scenario)
@@ -150,6 +175,11 @@ def run_scenario(scenario: Scenario, trace_paths: bool = False) -> ExperimentRes
     result.retransmits = sum(f.retransmits for f in collector.flows)
     result.events = network.scheduler.events_processed
     result.wall_seconds = time.perf_counter() - started
+    if injector is not None:
+        result.faults_applied = dict(injector.applied)
+        result.fault_packets_killed = injector.packets_killed
+    if checker is not None:
+        result.invariant_checks = checker.checks_run
     return result
 
 
@@ -169,6 +199,8 @@ _SUM_FIELDS = (
     "retransmits",
     "events",
     "wall_seconds",
+    "fault_packets_killed",
+    "invariant_checks",
 )
 
 _SAMPLE_FIELDS = ("qct_values", "bg_fct_short_values", "bg_fct_large_values")
@@ -192,6 +224,8 @@ def merge_results(scenario: Scenario, results: Sequence[ExperimentResult]) -> Ex
             getattr(merged, name).extend(getattr(result, name))
         for key, value in result.drops.items():
             merged.drops[key] = merged.drops.get(key, 0) + value
+        for key, value in result.faults_applied.items():
+            merged.faults_applied[key] = merged.faults_applied.get(key, 0) + value
         for name in _SUM_FIELDS:
             setattr(merged, name, getattr(merged, name) + getattr(result, name))
     return merged
@@ -209,6 +243,7 @@ def result_to_dict(result: ExperimentResult, include_scenario: bool = True) -> d
         if f.name != "scenario"
     }
     payload["drops"] = dict(result.drops)
+    payload["faults_applied"] = dict(result.faults_applied)
     for name in _SAMPLE_FIELDS:
         payload[name] = list(payload[name])
     if include_scenario:
@@ -238,6 +273,7 @@ def run_pooled(
     workers: int = 1,
     run_timeout_s: Optional[float] = None,
     max_retries: int = 1,
+    telemetry=None,
 ) -> ExperimentResult:
     """Run the scenario once per seed and pool the samples.
 
@@ -248,10 +284,15 @@ def run_pooled(
     With ``workers > 1`` the per-seed runs execute in parallel worker
     processes (see :mod:`repro.experiments.parallel`); the merged result is
     identical to the serial one for the same seeds.
+
+    Passing a :class:`~repro.experiments.parallel.RunTelemetry` routes even
+    the ``workers == 1`` case through the failure-containing executor:
+    per-seed failures (including watchdog/invariant aborts) are recorded
+    in the telemetry and only pool-wide failure raises.
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    if workers > 1:
+    if workers > 1 or telemetry is not None:
         from repro.experiments.parallel import pooled_parallel
 
         return pooled_parallel(
@@ -261,6 +302,7 @@ def run_pooled(
             timeout_s=run_timeout_s,
             max_retries=max_retries,
             trace_paths=trace_paths,
+            telemetry=telemetry,
         )
     results = [
         run_scenario(scenario.with_overrides(seed=seed), trace_paths=trace_paths)

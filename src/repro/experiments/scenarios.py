@@ -101,6 +101,17 @@ class Scenario:
     drain_s: float = 1.0
     seed: int = 0
 
+    # --- faults & guards (repro.faults) ---------------------------------
+    # Explicit fault schedule as plain tuples — FaultEvent.as_tuple() rows
+    # of (time, kind, node_a[, node_b[, count]]).  Plain builtins so the
+    # frozen dataclass survives the asdict round trip to worker processes.
+    faults: Optional[tuple] = None
+    link_flap_rate: float = 0.0  # Poisson flaps per fabric link per second
+    link_flap_downtime_s: float = 1e-3
+    corrupt_rate: float = 0.0  # corruption events per second, network-wide
+    watchdog: bool = True
+    invariant_check_interval_s: float = 0.0  # 0 = end-of-run audit only
+
     # ------------------------------------------------------------------
     def with_overrides(self, **kwargs) -> "Scenario":
         return replace(self, **kwargs)
@@ -110,6 +121,18 @@ class Scenario:
             raise ValueError(f"unknown scheme {self.scheme!r}; known: {SCHEMES}")
         if self.duration_s <= 0 or self.drain_s < 0:
             raise ValueError("duration must be positive, drain non-negative")
+        if self.link_flap_rate < 0 or self.corrupt_rate < 0:
+            raise ValueError("fault rates cannot be negative")
+        if self.link_flap_downtime_s <= 0:
+            raise ValueError("link flap downtime must be positive")
+        if self.invariant_check_interval_s < 0:
+            raise ValueError("invariant check interval cannot be negative")
+        if self.faults:
+            # Parse eagerly so malformed rows fail at configuration time,
+            # not halfway into a sweep.
+            from repro.faults.schedule import FaultSchedule
+
+            FaultSchedule.from_tuples(self.faults)
 
     # ------------------------------------------------------------------
     # assembly

@@ -1,0 +1,49 @@
+"""Fault injection and runtime robustness guards.
+
+This package makes runs-under-failure first-class: deterministic fault
+schedules (:mod:`repro.faults.schedule`) applied by an injector
+(:mod:`repro.faults.injector`), a livelock watchdog hooked into the
+scheduler's run loop (:mod:`repro.faults.watchdog`), and periodic in-run
+invariant checks (:mod:`repro.faults.guards`).
+
+The paper's robustness claim — DIBS keeps working as long as congestion is
+transient — only means something if the simulator can *create* the
+non-transient cases: dead core links shrinking the detour mask, crashed
+switches, random link flaps, CRC corruption.  Everything here is
+deterministic given the scenario seed, so faulty runs remain bit-identical
+across the serial and parallel executors.
+"""
+
+from repro.faults.guards import InvariantChecker, InvariantError
+from repro.faults.injector import FaultInjector, install_faults
+from repro.faults.schedule import (
+    FAULT_KINDS,
+    LINK_DOWN,
+    LINK_UP,
+    PACKET_CORRUPT,
+    SWITCH_FAIL,
+    SWITCH_RECOVER,
+    FaultEvent,
+    FaultSchedule,
+    load_fault_spec,
+)
+from repro.faults.watchdog import Watchdog
+from repro.sim.engine import LivelockError
+
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultInjector",
+    "install_faults",
+    "load_fault_spec",
+    "Watchdog",
+    "InvariantChecker",
+    "InvariantError",
+    "LivelockError",
+    "LINK_DOWN",
+    "LINK_UP",
+    "SWITCH_FAIL",
+    "SWITCH_RECOVER",
+    "PACKET_CORRUPT",
+    "FAULT_KINDS",
+]

@@ -1,0 +1,130 @@
+"""Periodic in-run invariant checks.
+
+End-of-run audits (:mod:`repro.net.audit`) catch that something went wrong;
+they cannot say *when*.  :class:`InvariantChecker` re-runs the cheap global
+invariants at a fixed simulated-time cadence during the run, so a violation
+aborts within one check interval of the corrupting event — with the
+simulated timestamp in the error — instead of surfacing as an inscrutable
+end-of-run discrepancy.
+
+Checked invariants:
+
+* every port queue has non-negative byte occupancy and no more packets than
+  its capacity,
+* every shared DBA buffer pool satisfies ``0 <= used_bytes <= total_bytes``
+  and ``used_bytes`` equals the sum of its member queues' byte counts,
+* packet conservation: created = delivered + unclaimed + misdelivered +
+  dropped + parked + in-flight (the ledger is exact at any simulated time
+  because ports track in-flight packets).
+
+Violations raise :class:`InvariantError` (a :class:`SimulationError`), which
+the experiment executors record as a per-run failure rather than a sweep
+crash.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.audit import conservation_report
+from repro.net.queues import INFINITE_CAPACITY
+from repro.sim.engine import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+
+__all__ = ["InvariantError", "InvariantChecker"]
+
+
+class InvariantError(SimulationError):
+    """A runtime invariant was violated mid-run."""
+
+
+class InvariantChecker:
+    """Self-rescheduling invariant sweep over a network."""
+
+    def __init__(
+        self,
+        network: "Network",
+        interval_s: float,
+        stop_at: Optional[float] = None,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("invariant check interval must be positive")
+        self.network = network
+        self.interval_s = interval_s
+        self.stop_at = stop_at
+        self.checks_run = 0
+
+    def start(self) -> "InvariantChecker":
+        """Schedule the first check one interval from now."""
+        self.network.scheduler.schedule(self.interval_s, self._check)
+        return self
+
+    def _check(self) -> None:
+        self.check_now()
+        now = self.network.scheduler.now
+        if self.stop_at is None or now + self.interval_s <= self.stop_at:
+            self.network.scheduler.schedule(self.interval_s, self._check)
+
+    # ------------------------------------------------------------------
+    def check_now(self) -> None:
+        """Run every invariant once; raise :class:`InvariantError` on the
+        first violation."""
+        self.checks_run += 1
+        now = self.network.scheduler.now
+        self._check_queues(now)
+        self._check_pools(now)
+        self._check_conservation(now)
+
+    def _check_queues(self, now: float) -> None:
+        for node in list(self.network.switches) + list(self.network.hosts):
+            for port in node.ports:
+                queue = port.queue
+                if queue.byte_count < 0:
+                    raise InvariantError(
+                        f"t={now}: negative byte occupancy ({queue.byte_count}) "
+                        f"on {node.name}[{port.index}]"
+                    )
+                capacity = getattr(queue, "capacity_pkts", None)
+                if (
+                    capacity is not None
+                    and capacity != INFINITE_CAPACITY
+                    and len(queue) > capacity
+                ):
+                    raise InvariantError(
+                        f"t={now}: queue on {node.name}[{port.index}] holds "
+                        f"{len(queue)} packets, capacity {capacity}"
+                    )
+
+    def _check_pools(self, now: float) -> None:
+        # Group member queues by pool identity: a pool's used_bytes must
+        # equal the sum of its members' occupancy, and stay within bounds.
+        members: dict[int, tuple[object, int]] = {}
+        for switch in self.network.switches:
+            for port in switch.ports:
+                pool = getattr(port.queue, "pool", None)
+                if pool is None:
+                    continue
+                _, total = members.get(id(pool), (pool, 0))
+                members[id(pool)] = (pool, total + port.queue.byte_count)
+        for pool, member_bytes in members.values():
+            if not 0 <= pool.used_bytes <= pool.total_bytes:
+                raise InvariantError(
+                    f"t={now}: shared buffer pool out of bounds: "
+                    f"used={pool.used_bytes}, total={pool.total_bytes}"
+                )
+            if pool.used_bytes != member_bytes:
+                raise InvariantError(
+                    f"t={now}: shared buffer pool accounting skew: "
+                    f"pool says {pool.used_bytes} bytes used, member queues "
+                    f"hold {member_bytes}"
+                )
+
+    def _check_conservation(self, now: float) -> None:
+        report = conservation_report(self.network)
+        if report.leaked != 0:
+            raise InvariantError(
+                f"t={now}: packet conservation violated "
+                f"(leaked={report.leaked}): {report.as_dict()}"
+            )

@@ -1,0 +1,203 @@
+"""Applies a :class:`~repro.faults.schedule.FaultSchedule` to a live network.
+
+The injector is armed once, before the simulation starts: every fault event
+becomes an ordinary scheduler event, so faults interleave with traffic in
+deterministic FIFO order and the same schedule + seed replays identically in
+the serial and parallel executors.
+
+What each kind does at apply time:
+
+* ``link_down`` — both directions of the link go down (new sends rejected,
+  in-flight packets killed; all recorded as ``link_down`` drops) and both
+  endpoint switches rebuild their fault-filtered FIBs / drop the link from
+  the DIBS detour mask.
+* ``link_up`` — both directions come back, parked queues resume draining,
+  and the endpoint FIBs are restored.
+* ``switch_fail`` — the switch stops forwarding (``switch_failed`` drops)
+  and every attached link goes down in both directions; neighbors route and
+  detour around it.
+* ``switch_recover`` — the reverse.
+* ``packet_corrupt`` — the next ``count`` deliveries on the ``a -> b``
+  direction are discarded as CRC failures (``corrupt`` drops).
+
+Transports never see a special signal: every fault manifests as packet loss
+(or an ECMP/detour mask change), exactly as in a real data center.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.faults.schedule import (
+    LINK_DOWN,
+    LINK_UP,
+    PACKET_CORRUPT,
+    SWITCH_FAIL,
+    SWITCH_RECOVER,
+    FaultEvent,
+    FaultSchedule,
+)
+from repro.net.switch import Switch
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+
+__all__ = ["FaultInjector", "install_faults"]
+
+
+class FaultInjector:
+    """Schedules and applies a fault schedule against one network.
+
+    ``reroute=True`` (default) models idealized routing reconvergence:
+    every topology-changing transition recomputes all-shortest-path FIBs on
+    the live topology, so surviving paths carry traffic around the failure.
+    With ``reroute=False`` only the local fault filters apply — switches
+    adjacent to the failure stop using dead ports, but distant switches
+    keep forwarding into the black hole (``no_route`` drops at the rim).
+    """
+
+    def __init__(
+        self, network: "Network", schedule: FaultSchedule, reroute: bool = True
+    ) -> None:
+        self.network = network
+        self.schedule = schedule
+        self.reroute = reroute
+        # Counters exported into ExperimentResult.faults_applied.
+        self.applied: dict[str, int] = {}
+        self.packets_killed = 0
+        # (time, kind, node_a, node_b) application log, in apply order.
+        self.log: list[tuple[float, str, str, str]] = []
+        self._armed = False
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Fail fast on schedules that name unknown nodes or links."""
+        for ev in self.schedule:
+            try:
+                node_a = self.network.node(ev.node_a)
+            except KeyError:
+                raise ValueError(f"fault at t={ev.time} names unknown node {ev.node_a!r}")
+            if ev.kind in (SWITCH_FAIL, SWITCH_RECOVER):
+                if not isinstance(node_a, Switch):
+                    raise ValueError(
+                        f"fault at t={ev.time}: {ev.kind} target {ev.node_a!r} is not a switch"
+                    )
+                continue
+            try:
+                self.network.port_between(ev.node_a, ev.node_b)
+            except KeyError:
+                raise ValueError(
+                    f"fault at t={ev.time} names nonexistent link "
+                    f"{ev.node_a!r} <-> {ev.node_b!r}"
+                )
+
+    def arm(self) -> "FaultInjector":
+        """Validate the schedule and register every event on the scheduler."""
+        if self._armed:
+            raise RuntimeError("fault injector already armed")
+        self.validate()
+        scheduler = self.network.scheduler
+        for ev in self.schedule:
+            scheduler.schedule_at(ev.time, self._apply, ev)
+        self._armed = True
+        return self
+
+    # ------------------------------------------------------------------
+    def _apply(self, ev: FaultEvent) -> None:
+        if ev.kind == LINK_DOWN:
+            self._set_link(ev.node_a, ev.node_b, up=False)
+        elif ev.kind == LINK_UP:
+            self._set_link(ev.node_a, ev.node_b, up=True)
+        elif ev.kind == SWITCH_FAIL:
+            self._set_switch(ev.node_a, failed=True)
+        elif ev.kind == SWITCH_RECOVER:
+            self._set_switch(ev.node_a, failed=False)
+        elif ev.kind == PACKET_CORRUPT:
+            self.network.port_between(ev.node_a, ev.node_b).corrupt_next += ev.count
+        self.applied[ev.kind] = self.applied.get(ev.kind, 0) + 1
+        self.log.append((self.network.scheduler.now, ev.kind, ev.node_a, ev.node_b))
+        self.network.collector.fault_events.append(
+            (self.network.scheduler.now, ev.kind, ev.node_a, ev.node_b)
+        )
+
+    def _set_link(self, name_a: str, name_b: str, up: bool) -> None:
+        for tx, _rx in ((name_a, name_b), (name_b, name_a)):
+            port = self.network.port_between(tx, _rx)
+            if up:
+                port.set_up()
+            else:
+                self.packets_killed += port.set_down()
+        if self.reroute:
+            self.network.recompute_routes()
+        else:
+            for name in (name_a, name_b):
+                node = self.network.node(name)
+                if isinstance(node, Switch):
+                    node.refresh_fault_state()
+
+    def _set_switch(self, name: str, failed: bool) -> None:
+        switch = self.network.switch(name)
+        switch.failed = failed
+        touched: list[Switch] = [switch]
+        for port in switch.ports:
+            peer = port.peer_node
+            if peer is None:
+                continue
+            reverse = peer.ports[port.peer_port_index]
+            if failed:
+                self.packets_killed += port.set_down()
+                self.packets_killed += reverse.set_down()
+            else:
+                port.set_up()
+                reverse.set_up()
+            if isinstance(peer, Switch):
+                touched.append(peer)
+        if self.reroute:
+            self.network.recompute_routes()
+        else:
+            for sw in touched:
+                sw.refresh_fault_state()
+
+
+def install_faults(network: "Network", scenario) -> Optional[FaultInjector]:
+    """Build and arm the injector a scenario asks for; ``None`` if fault-free.
+
+    The combined schedule is the scenario's explicit ``faults`` rows plus
+    generated Poisson link flaps (``link_flap_rate`` per fabric link) and
+    uniform corruption events (``corrupt_rate`` network-wide), each drawn
+    from its own named RNG stream so the schedule is a pure function of the
+    scenario + seed.  ``scenario`` is duck-typed: any object with the
+    optional attributes works (dicts crossing the worker-process boundary
+    are rebuilt into Scenario before reaching here).
+    """
+    schedule = FaultSchedule()
+    explicit = getattr(scenario, "faults", None)
+    if explicit:
+        schedule = schedule.merged(FaultSchedule.from_tuples(explicit))
+    duration_s = float(getattr(scenario, "duration_s", 0.0))
+    flap_rate = float(getattr(scenario, "link_flap_rate", 0.0) or 0.0)
+    if flap_rate > 0.0:
+        schedule = schedule.merged(
+            FaultSchedule.poisson_link_flaps(
+                network.fabric_links(),
+                flap_rate,
+                duration_s,
+                network.rngs.stream("faults.flaps"),
+                downtime_s=float(getattr(scenario, "link_flap_downtime_s", 1e-3)),
+            )
+        )
+    corrupt_rate = float(getattr(scenario, "corrupt_rate", 0.0) or 0.0)
+    if corrupt_rate > 0.0:
+        schedule = schedule.merged(
+            FaultSchedule.uniform_corruption(
+                network.fabric_links(),
+                corrupt_rate,
+                duration_s,
+                network.rngs.stream("faults.corrupt"),
+            )
+        )
+    if not schedule:
+        return None
+    injector = FaultInjector(network, schedule).arm()
+    network.fault_injector = injector
+    return injector

@@ -1,0 +1,227 @@
+"""Deterministic fault schedules.
+
+A :class:`FaultSchedule` is a time-sorted sequence of :class:`FaultEvent`
+records — the *entire* failure story of a run, fixed before the simulation
+starts.  Schedules can be written by hand, loaded from a JSON spec
+(``--faults spec.json``), or generated from seeded random streams
+(:meth:`FaultSchedule.poisson_link_flaps`,
+:meth:`FaultSchedule.uniform_corruption`).  Because generation draws from
+:class:`repro.sim.rng.RngFactory` streams derived from the scenario seed,
+the same scenario + seed always yields the same schedule — in-process, in a
+worker process, on any platform — which is what keeps faulty runs
+bit-identical between the serial and parallel executors.
+
+Event kinds
+-----------
+``link_down`` / ``link_up``
+    Both directions of the named link go down/up.  A down port rejects new
+    sends and kills packets already propagating (recorded ``link_down``
+    drops); queued packets stay parked until recovery.
+``switch_fail`` / ``switch_recover``
+    The switch stops forwarding (anything it is handed drops with cause
+    ``switch_failed``) and every attached link — both directions — goes
+    down with it.  Recovery brings the switch and all its links back.
+``packet_corrupt``
+    The next ``count`` packets delivered in the ``node_a -> node_b``
+    direction are discarded as CRC failures (``corrupt`` drops).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from random import Random
+from typing import Iterable, Iterator, Sequence, Union
+
+__all__ = [
+    "FaultEvent",
+    "FaultSchedule",
+    "load_fault_spec",
+    "LINK_DOWN",
+    "LINK_UP",
+    "SWITCH_FAIL",
+    "SWITCH_RECOVER",
+    "PACKET_CORRUPT",
+    "FAULT_KINDS",
+]
+
+LINK_DOWN = "link_down"
+LINK_UP = "link_up"
+SWITCH_FAIL = "switch_fail"
+SWITCH_RECOVER = "switch_recover"
+PACKET_CORRUPT = "packet_corrupt"
+
+FAULT_KINDS = (LINK_DOWN, LINK_UP, SWITCH_FAIL, SWITCH_RECOVER, PACKET_CORRUPT)
+_LINK_KINDS = frozenset((LINK_DOWN, LINK_UP, PACKET_CORRUPT))
+_SWITCH_KINDS = frozenset((SWITCH_FAIL, SWITCH_RECOVER))
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timestamped fault.
+
+    ``node_b`` is required for link-scoped kinds and empty for
+    switch-scoped ones; ``count`` is only meaningful for
+    ``packet_corrupt`` (how many deliveries to corrupt).
+    """
+
+    time: float
+    kind: str
+    node_a: str
+    node_b: str = ""
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"fault time cannot be negative: {self.time}")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}")
+        if not self.node_a:
+            raise ValueError(f"{self.kind} fault needs a node name")
+        if self.kind in _LINK_KINDS and not self.node_b:
+            raise ValueError(f"{self.kind} fault needs both link endpoints")
+        if self.kind in _SWITCH_KINDS and self.node_b:
+            raise ValueError(f"{self.kind} fault names a single switch, got two nodes")
+        if self.count < 1:
+            raise ValueError(f"fault count must be >= 1, got {self.count}")
+
+    def as_tuple(self) -> tuple:
+        """Canonical plain-builtin form (what :class:`Scenario` carries)."""
+        return (self.time, self.kind, self.node_a, self.node_b, self.count)
+
+
+class FaultSchedule:
+    """An immutable, time-sorted collection of fault events."""
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        # Stable sort: events at the same timestamp apply in insertion
+        # order, mirroring the scheduler's FIFO tie-breaking.
+        self.events: tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda ev: ev.time)
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    def merged(self, other: "FaultSchedule") -> "FaultSchedule":
+        return FaultSchedule(self.events + other.events)
+
+    # ------------------------------------------------------------------
+    # plain-builtin round trips (Scenario fields, JSON specs)
+    # ------------------------------------------------------------------
+    def as_tuples(self) -> tuple[tuple, ...]:
+        return tuple(ev.as_tuple() for ev in self.events)
+
+    @classmethod
+    def from_tuples(cls, rows: Iterable[Sequence]) -> "FaultSchedule":
+        """Rebuild from ``as_tuples`` output (lists accepted: JSON and the
+        process boundary do not preserve tuples)."""
+        events = []
+        for row in rows:
+            row = tuple(row)
+            if not 3 <= len(row) <= 5:
+                raise ValueError(f"fault row needs 3-5 fields (time, kind, a[, b[, count]]): {row!r}")
+            events.append(FaultEvent(*row))
+        return cls(events)
+
+    @classmethod
+    def from_spec(cls, spec: Union[dict, list]) -> "FaultSchedule":
+        """Parse a JSON-ish spec: ``{"events": [...]}`` or a bare list,
+        with each entry either a dict (``time``, ``kind``, ``a``/``node_a``,
+        ``b``/``node_b``, ``count``) or a positional row."""
+        rows = spec.get("events", []) if isinstance(spec, dict) else spec
+        events = []
+        for row in rows:
+            if isinstance(row, dict):
+                events.append(
+                    FaultEvent(
+                        time=float(row["time"]),
+                        kind=str(row["kind"]),
+                        node_a=str(row.get("a", row.get("node_a", ""))),
+                        node_b=str(row.get("b", row.get("node_b", ""))),
+                        count=int(row.get("count", 1)),
+                    )
+                )
+            else:
+                events.append(FaultEvent(*tuple(row)))
+        return cls(events)
+
+    @classmethod
+    def from_json_file(cls, path) -> "FaultSchedule":
+        return cls.from_spec(json.loads(Path(path).read_text()))
+
+    # ------------------------------------------------------------------
+    # seeded random generators
+    # ------------------------------------------------------------------
+    @classmethod
+    def poisson_link_flaps(
+        cls,
+        links: Sequence[tuple[str, str]],
+        rate_per_link: float,
+        duration_s: float,
+        rng: Random,
+        downtime_s: float = 1e-3,
+    ) -> "FaultSchedule":
+        """Independent Poisson link flaps: each link fails at
+        ``rate_per_link`` events/second and recovers ``downtime_s`` later.
+        Links are visited in the order given, so the same ``rng`` state
+        always produces the same schedule."""
+        if rate_per_link < 0:
+            raise ValueError("flap rate cannot be negative")
+        if downtime_s <= 0:
+            raise ValueError("flap downtime must be positive")
+        events: list[FaultEvent] = []
+        if rate_per_link == 0:
+            return cls(events)
+        for node_a, node_b in links:
+            t = rng.expovariate(rate_per_link)
+            while t < duration_s:
+                events.append(FaultEvent(t, LINK_DOWN, node_a, node_b))
+                events.append(FaultEvent(t + downtime_s, LINK_UP, node_a, node_b))
+                t += downtime_s + rng.expovariate(rate_per_link)
+        return cls(events)
+
+    @classmethod
+    def uniform_corruption(
+        cls,
+        links: Sequence[tuple[str, str]],
+        events_per_s: float,
+        duration_s: float,
+        rng: Random,
+        count: int = 1,
+    ) -> "FaultSchedule":
+        """Network-wide Poisson corruption: ``events_per_s`` corrupt events
+        per second, each hitting a uniformly chosen link direction (the
+        direction is also drawn, so both halves of a link are exposed)."""
+        if events_per_s < 0:
+            raise ValueError("corruption rate cannot be negative")
+        events: list[FaultEvent] = []
+        if events_per_s == 0 or not links:
+            return cls(events)
+        t = rng.expovariate(events_per_s)
+        while t < duration_s:
+            node_a, node_b = links[rng.randrange(len(links))]
+            if rng.random() < 0.5:
+                node_a, node_b = node_b, node_a
+            events.append(FaultEvent(t, PACKET_CORRUPT, node_a, node_b, count))
+            t += rng.expovariate(events_per_s)
+        return cls(events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultSchedule {len(self.events)} events>"
+
+
+def load_fault_spec(path) -> tuple[tuple, ...]:
+    """Load a JSON fault spec into the plain-tuple form a
+    :class:`~repro.experiments.scenarios.Scenario` carries (used by the
+    ``--faults`` CLI flag)."""
+    return FaultSchedule.from_json_file(path).as_tuples()

@@ -63,6 +63,9 @@ class MetricsCollector:
     def __init__(self) -> None:
         self.flows: list[FlowHandle] = []
         self.queries: list[QueryRecord] = []
+        # (time, kind, node_a, node_b) rows appended by the fault injector
+        # as each scheduled fault is applied (see repro.faults.injector).
+        self.fault_events: list[tuple[float, str, str, str]] = []
 
     # ------------------------------------------------------------------
     def add_flow(self, flow: FlowHandle) -> None:
@@ -138,4 +141,5 @@ class MetricsCollector:
             ),
             "retransmits": sum(f.retransmits for f in self.flows),
             "timeouts": sum(f.timeouts for f in self.flows),
+            "fault_events": len(self.fault_events),
         }

@@ -112,6 +112,9 @@ def export_result_json(result: "ExperimentResult", path: PathLike) -> Path:
         "retransmits": result.retransmits,
         "events": result.events,
         "wall_seconds": result.wall_seconds,
+        "faults_applied": result.faults_applied,
+        "fault_packets_killed": result.fault_packets_killed,
+        "invariant_checks": result.invariant_checks,
     }
     out = Path(path)
     out.write_text(json.dumps(payload, indent=2, default=str))

@@ -3,11 +3,16 @@
 A packet-level simulator has one global invariant: every packet created by
 a transport endpoint is eventually (a) delivered to a transport endpoint,
 (b) delivered to a host that didn't want it (misdelivered/unclaimed),
-(c) dropped with a recorded cause, or (d) still parked in some queue.
+(c) dropped with a recorded cause, (d) still parked in some queue, or
+(e) in flight on a link (transmitted but not yet delivered — tracked
+per-port, see :attr:`repro.net.link.Port.in_flight`).
 :func:`conservation_report` computes both sides of that ledger from the
 counters the simulator already keeps, and :func:`assert_conserved` is used
 by the integration tests after every quiescent run — a failing audit means
 packets are silently leaking or duplicating somewhere in the pipeline.
+Because propagating packets are counted, the ledger is exact at *any*
+simulated time, which is what lets the periodic in-run invariant checks
+(:mod:`repro.faults.guards`) audit mid-flight.
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ class ConservationReport:
     misdelivered: int
     dropped: int
     parked: int
+    in_flight: int = 0
 
     @property
     def created(self) -> int:
@@ -47,6 +53,7 @@ class ConservationReport:
             + self.misdelivered
             + self.dropped
             + self.parked
+            + self.in_flight
         )
 
     @property
@@ -64,13 +71,14 @@ class ConservationReport:
             "misdelivered": self.misdelivered,
             "dropped": self.dropped,
             "parked": self.parked,
+            "in_flight": self.in_flight,
             "leaked": self.leaked,
         }
 
 
 def conservation_report(network: "Network") -> ConservationReport:
-    """Build the ledger for a network (exact once the network is quiescent;
-    packets in flight on a link are not yet counted on either side)."""
+    """Build the ledger for a network.  Exact at any simulated time:
+    packets propagating on a link are counted in the ``in_flight`` column."""
     flows = network.collector.flows
     data_sent = sum(f.packets_sent for f in flows)
     acks_sent = sum(f.acks_sent for f in flows)
@@ -80,14 +88,18 @@ def conservation_report(network: "Network") -> ConservationReport:
     misdelivered = sum(h.misdelivered for h in network.hosts)
     dropped = network.total_drops()
     parked = 0
+    in_flight = 0
     for switch in network.switches:
         for port in switch.ports:
             parked += len(port.queue)
+            in_flight += port.in_flight
         if hasattr(switch, "ingress_occupancy"):
             parked += sum(switch.ingress_occupancy().values())
+        in_flight += getattr(switch, "in_fabric", 0)
     for host in network.hosts:
         for port in host.ports:
             parked += len(port.queue)
+            in_flight += port.in_flight
     return ConservationReport(
         data_sent=data_sent,
         acks_sent=acks_sent,
@@ -97,6 +109,7 @@ def conservation_report(network: "Network") -> ConservationReport:
         misdelivered=misdelivered,
         dropped=dropped,
         parked=parked,
+        in_flight=in_flight,
     )
 
 

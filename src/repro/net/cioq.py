@@ -54,6 +54,10 @@ class CioqSwitch(Switch):
         self._ingress: dict[int, DropTailQueue] = {}
         self._ingress_busy: dict[int, bool] = {}
         self.ingress_drops = 0
+        # Packets crossing the fabric (dequeued from ingress, not yet at
+        # the forwarding engine); counted by the conservation audit so the
+        # ledger stays exact mid-run.
+        self.in_fabric = 0
 
     # ------------------------------------------------------------------
     def _ingress_queue(self, in_port: int) -> DropTailQueue:
@@ -84,11 +88,13 @@ class CioqSwitch(Switch):
         # The fabric moves the packet at speedup x the ingress line rate.
         line_rate = self.ports[in_port].rate_bps
         service = pkt.size * 8.0 / (line_rate * self.fabric_speedup)
+        self.in_fabric += 1
         self.scheduler.schedule(service, self._forward_after_fabric, pkt, in_port)
 
     def _forward_after_fabric(self, pkt: Packet, in_port: int) -> None:
         # The standard pipeline (TTL, FIB, ECMP, DIBS) runs at the
         # forwarding engine, i.e. when the fabric delivers the packet.
+        self.in_fabric -= 1
         super().receive(pkt, in_port)
         self._serve(in_port)
 

@@ -13,17 +13,28 @@ from deltas of ``bytes_sent``.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Optional
 
 from repro.net.node import Node
 from repro.net.packet import Packet
-from repro.sim.engine import Scheduler
+from repro.sim.engine import Scheduler, SimulationError
 
 __all__ = ["Port", "connect"]
 
 
 class Port:
-    """One direction of a full-duplex link, plus its output queue."""
+    """One direction of a full-duplex link, plus its output queue.
+
+    Besides the transmit/queue machinery, a port carries the fault state the
+    injector (:mod:`repro.faults`) manipulates: an ``up`` flag (a down port
+    rejects new sends and kills packets already propagating, both recorded
+    as ``link_down`` drops) and a ``corrupt_next`` budget (the next N
+    deliveries are discarded as CRC failures, recorded as ``corrupt``
+    drops).  Packets between transmit start and delivery are tracked in
+    ``_in_flight`` so the conservation ledger (:mod:`repro.net.audit`) is
+    exact at any simulated time, not just at quiescence.
+    """
 
     __slots__ = (
         "node",
@@ -36,12 +47,17 @@ class Port:
         "peer_is_host",
         "busy",
         "paused",
+        "up",
         "scheduler",
         "bytes_sent",
         "pkts_sent",
         "busy_seconds",
+        "drops_link_down",
+        "drops_corrupt",
+        "corrupt_next",
         "on_queue_change",
         "_pause_expiry",
+        "_in_flight",
         "pauses_received",
     )
 
@@ -61,13 +77,22 @@ class Port:
         self.peer_is_host = False
         self.busy = False
         self.paused = False  # Ethernet flow control (see repro.net.pfc)
+        self.up = True  # link fault state (see repro.faults)
         self.bytes_sent = 0
         self.pkts_sent = 0
         self.busy_seconds = 0.0
+        self.drops_link_down = 0
+        self.drops_corrupt = 0
+        self.corrupt_next = 0
         # Optional observer invoked after every enqueue/dequeue on this
         # port's queue; used by PFC to watch occupancy thresholds.
         self.on_queue_change = None
         self._pause_expiry = None
+        # (event, packet) pairs scheduled for delivery but not yet arrived.
+        # Deliveries fire in FIFO order (each packet's arrival time is its
+        # predecessor's tx-done plus its own serialization plus the fixed
+        # propagation delay), so a deque popped at _deliver suffices.
+        self._in_flight: deque = deque()
         self.pauses_received = 0
 
     # ------------------------------------------------------------------
@@ -81,8 +106,17 @@ class Port:
         return pkt.size * 8.0 / self.rate_bps
 
     # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Packets transmitted (or transmitting) but not yet delivered."""
+        return len(self._in_flight)
+
     def send(self, pkt: Packet) -> bool:
-        """Enqueue ``pkt`` for transmission.  Returns ``False`` on tail drop."""
+        """Enqueue ``pkt`` for transmission.  Returns ``False`` on tail drop
+        (or, for a down port, a recorded ``link_down`` drop)."""
+        if not self.up:
+            self.drops_link_down += 1
+            return False
         if not self.queue.enqueue(pkt):
             return False
         if self.on_queue_change is not None:
@@ -118,7 +152,7 @@ class Port:
             self._tx_next()
 
     def _tx_next(self) -> None:
-        if self.paused:
+        if self.paused or not self.up:
             self.busy = False
             return
         pkt = self.queue.dequeue()
@@ -133,7 +167,8 @@ class Port:
         self.pkts_sent += 1
         self.busy_seconds += tx
         self.scheduler.schedule(tx, self._tx_done)
-        self.scheduler.schedule(tx + self.delay_s, self._deliver, pkt)
+        delivery = self.scheduler.schedule(tx + self.delay_s, self._deliver, pkt)
+        self._in_flight.append((delivery, pkt))
 
     def _tx_done(self) -> None:
         # The transmitter frees up when the last bit leaves; propagation of
@@ -141,8 +176,50 @@ class Port:
         self._tx_next()
 
     def _deliver(self, pkt: Packet) -> None:
-        assert self.peer_node is not None, "port is not connected"
+        if self.peer_node is None:
+            # A real error, not an assert: a miswired topology must fail
+            # loudly even under ``python -O`` (which strips asserts).
+            raise SimulationError(
+                f"port {self.node.name}[{self.index}] delivered a packet but is not connected"
+            )
+        self._in_flight.popleft()
+        if self.corrupt_next > 0:
+            # Injected corruption: the frame fails its CRC at the receiver
+            # and is discarded — to the transport this is an ordinary loss.
+            self.corrupt_next -= 1
+            self.drops_corrupt += 1
+            return
         self.peer_node.receive(pkt, self.peer_port_index)
+
+    # ------------------------------------------------------------------
+    # fault state (driven by repro.faults.FaultInjector)
+    # ------------------------------------------------------------------
+    def set_down(self) -> int:
+        """Take this link direction down.
+
+        New sends are rejected (counted as ``link_down`` drops), queued
+        packets stay parked until recovery, and packets already propagating
+        are killed mid-flight (their deliveries cancelled and counted as
+        ``link_down`` drops).  Returns the number of packets killed.
+        """
+        if not self.up:
+            return 0
+        self.up = False
+        killed = 0
+        while self._in_flight:
+            delivery, _pkt = self._in_flight.popleft()
+            delivery.cancel()
+            self.drops_link_down += 1
+            killed += 1
+        return killed
+
+    def set_up(self) -> None:
+        """Bring the link direction back; resume draining any parked queue."""
+        if self.up:
+            return
+        self.up = True
+        if not self.busy and not self.paused:
+            self._tx_next()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         peer = self.peer_node.name if self.peer_node else "?"

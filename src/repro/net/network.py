@@ -128,6 +128,10 @@ class Network:
         self._next_flow_id = 0
         self._next_query_id = 0
 
+        # Attached by repro.faults.install_faults when the scenario carries
+        # a fault schedule; None for a fault-free network.
+        self.fault_injector = None
+
         self._build_nodes()
         self._build_links()
         self._install_fibs()
@@ -212,14 +216,46 @@ class Network:
         return link.node_b if end == link.node_a else link.node_a
 
     def _install_fibs(self) -> None:
-        fibs = compute_fibs(self.topo)
+        self._install_fib_tables(compute_fibs(self.topo))
+
+    def _install_fib_tables(self, fibs: dict[str, dict[str, list[str]]]) -> None:
         for switch in self.switches:
-            symbolic = fibs[switch.name]
+            symbolic = fibs.get(switch.name, {})
             table: dict[int, list[int]] = {}
             for dst_name, next_hops in symbolic.items():
                 dst_id = self._nodes[dst_name].node_id
                 table[dst_id] = [self._port_index[(switch.name, hop)] for hop in next_hops]
             switch.install_fib(table)
+
+    def live_topology(self) -> Topology:
+        """The current topology minus links with either direction down.
+
+        A failed switch contributes nothing: the injector takes all its
+        links down with it, so no path can traverse it.
+        """
+        live_links = [
+            link
+            for link in self.topo.links
+            if self.port_between(link.node_a, link.node_b).up
+            and self.port_between(link.node_b, link.node_a).up
+        ]
+        return Topology(
+            name=f"{self.topo.name}-live",
+            hosts=list(self.topo.hosts),
+            switches=list(self.topo.switches),
+            links=live_links,
+        )
+
+    def recompute_routes(self) -> None:
+        """Re-run all-shortest-path routing on the live topology.
+
+        Models (idealized, immediate) routing reconvergence after a fault:
+        destinations cut off by dead links get rerouted over surviving
+        paths, and unreachable destinations simply vanish from the FIBs
+        (their packets drop with ``no_route``).  Installing the new tables
+        also clears every memoized ECMP pick.
+        """
+        self._install_fib_tables(compute_fibs(self.live_topology()))
 
     # ------------------------------------------------------------------
     # lookup helpers
@@ -254,6 +290,16 @@ class Network:
                 if port.peer_node is not None and not port.peer_is_host:
                     out.append((switch, port))
         return out
+
+    def fabric_links(self) -> list[tuple[str, str]]:
+        """Undirected switch-to-switch links, in topology order (the
+        deterministic universe the random fault generators draw from)."""
+        switch_names = set(self.topo.switches)
+        return [
+            (link.node_a, link.node_b)
+            for link in self.topo.links
+            if link.node_a in switch_names and link.node_b in switch_names
+        ]
 
     # ------------------------------------------------------------------
     # flows
@@ -331,7 +377,7 @@ class Network:
 
     def drop_report(self) -> dict[str, int]:
         """Drops by cause, network-wide (switch pipeline + host NICs +
-        pFabric in-queue evictions)."""
+        pFabric in-queue evictions + fault-injected losses)."""
         report = {
             "overflow": 0,
             "ttl_expired": 0,
@@ -340,6 +386,9 @@ class Network:
             "host_nic": 0,
             "pfabric_evictions": 0,
             "ingress_overflow": 0,
+            "switch_failed": 0,
+            "link_down": 0,
+            "corrupt": 0,
         }
         for switch in self.switches:
             c = switch.counters
@@ -347,25 +396,25 @@ class Network:
             report["ttl_expired"] += c.drops_ttl
             report["no_route"] += c.drops_no_route
             report["no_detour_port"] += c.drops_no_detour
+            report["switch_failed"] += c.drops_switch_failed
             report["ingress_overflow"] += getattr(switch, "ingress_drops", 0)
             for port in switch.ports:
                 report["pfabric_evictions"] += getattr(port.queue, "evictions", 0)
+                report["link_down"] += port.drops_link_down
+                report["corrupt"] += port.drops_corrupt
         for host in self.hosts:
             for port in host.ports:
                 report["host_nic"] += port.queue.drops
+                report["link_down"] += port.drops_link_down
+                report["corrupt"] += port.drops_corrupt
         return report
 
     def total_drops(self) -> int:
         # "overflow" counts arrivals the queue rejected; pFabric evictions
         # happen after acceptance (a resident is pushed out), so the two
-        # causes are disjoint and both count as lost packets.
-        report = self.drop_report()
-        return (
-            report["overflow"]
-            + report["ttl_expired"]
-            + report["no_route"]
-            + report["no_detour_port"]
-            + report["host_nic"]
-            + report["pfabric_evictions"]
-            + report["ingress_overflow"]
-        )
+        # causes are disjoint and both count as lost packets.  Fault causes
+        # (link_down, corrupt, switch_failed) are likewise disjoint from
+        # the queue counters: a down port rejects before the queue sees the
+        # packet, corruption discards after dequeue, and a failed switch
+        # drops in its own pipeline.
+        return sum(self.drop_report().values())

@@ -25,21 +25,36 @@ from repro.core.config import DibsConfig
 from repro.net.link import Port
 from repro.net.node import Node
 from repro.net.packet import Packet
-from repro.sim.engine import Scheduler
+from repro.sim.engine import LivelockError, Scheduler, SimulationError
 from repro.sim.rng import stable_hash
 
-__all__ = ["Switch", "SwitchCounters", "DROP_OVERFLOW", "DROP_TTL", "DROP_NO_ROUTE", "DROP_NO_DETOUR"]
+__all__ = [
+    "Switch",
+    "SwitchCounters",
+    "DROP_OVERFLOW",
+    "DROP_TTL",
+    "DROP_NO_ROUTE",
+    "DROP_NO_DETOUR",
+    "DROP_SWITCH_FAILED",
+    "DEFAULT_HOP_LIMIT",
+]
 
 DROP_OVERFLOW = "overflow"
 DROP_TTL = "ttl_expired"
 DROP_NO_ROUTE = "no_route"
 DROP_NO_DETOUR = "no_detour_port"
+DROP_SWITCH_FAILED = "switch_failed"
+
+# Effectively-unbounded default for the per-packet hop guard; the watchdog
+# (repro.faults.watchdog) tightens it to a TTL-derived bound.
+DEFAULT_HOP_LIMIT = 1 << 30
 
 
 class SwitchCounters:
     """Per-switch event counters consumed by the metrics layer."""
 
-    __slots__ = ("forwards", "detours", "drops_overflow", "drops_ttl", "drops_no_route", "drops_no_detour")
+    __slots__ = ("forwards", "detours", "drops_overflow", "drops_ttl",
+                 "drops_no_route", "drops_no_detour", "drops_switch_failed")
 
     def __init__(self) -> None:
         self.forwards = 0
@@ -48,10 +63,12 @@ class SwitchCounters:
         self.drops_ttl = 0
         self.drops_no_route = 0
         self.drops_no_detour = 0
+        self.drops_switch_failed = 0
 
     @property
     def drops(self) -> int:
-        return self.drops_overflow + self.drops_ttl + self.drops_no_route + self.drops_no_detour
+        return (self.drops_overflow + self.drops_ttl + self.drops_no_route
+                + self.drops_no_detour + self.drops_switch_failed)
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -61,6 +78,7 @@ class SwitchCounters:
             "drops_ttl": self.drops_ttl,
             "drops_no_route": self.drops_no_route,
             "drops_no_detour": self.drops_no_detour,
+            "drops_switch_failed": self.drops_switch_failed,
         }
 
 
@@ -95,6 +113,12 @@ class Switch(Node):
         self.rng = rng if rng is not None else random.Random(stable_hash(name))
         self.ecmp_mode = ecmp_mode
         self._spray_counter = 0
+        # _fib_full is the installed (fault-free) table; _fib is the active
+        # view the forwarding hot path reads.  They are the same object
+        # while every port is up; on a fault transition refresh_fault_state
+        # rebuilds _fib with down ports filtered out, so the per-packet
+        # path never pays a liveness check.
+        self._fib_full: dict[int, list[int]] = {}
         self._fib: dict[int, list[int]] = {}
         # Memoized flow-level ECMP picks: (dst, flow_id) -> port index.
         # stable_hash re-encodes strings per call, which dominated the
@@ -102,6 +126,8 @@ class Switch(Node):
         # so one dict lookup replaces it.  Keyed by dst too because ACKs
         # reuse the data packets' flow_id in the reverse direction.
         self._ecmp_cache: dict[tuple[int, int], int] = {}
+        self.failed = False  # crashed switch (repro.faults SwitchFail)
+        self.hop_limit = DEFAULT_HOP_LIMIT
         self.counters = SwitchCounters()
         self.on_detour: Optional[Callable[[float, "Switch", Packet], None]] = None
         self.on_drop: Optional[Callable[[float, "Switch", Packet, str], None]] = None
@@ -119,14 +145,44 @@ class Switch(Node):
 
     def install_fib(self, table: dict[int, list[int]]) -> None:
         """Install a forwarding table, invalidating memoized ECMP picks."""
-        self._fib = table
+        self._fib_full = table
+        self.refresh_fault_state()
+
+    def refresh_fault_state(self) -> None:
+        """Recompute the active FIB after a port up/down transition.
+
+        Down ports are removed from every ECMP next-hop set (a destination
+        whose every next hop is down becomes unroutable and its packets
+        drop with ``no_route``), and the memoized ECMP picks are
+        invalidated so no cached decision can point at a dead port.  The
+        DIBS detour mask needs no rebuild: :meth:`detour_candidates`
+        checks ``port.up`` directly.
+        """
+        down = {port.index for port in self.ports if not port.up}
+        if not down:
+            self._fib = self._fib_full
+        else:
+            self._fib = {
+                dst: [hop for hop in hops if hop not in down]
+                for dst, hops in self._fib_full.items()
+            }
         self._ecmp_cache.clear()
 
     # ------------------------------------------------------------------
     # forwarding
     # ------------------------------------------------------------------
     def receive(self, pkt: Packet, in_port: int) -> None:
+        if self.failed:
+            # A crashed switch loses everything it was handed (packets
+            # already inside the fabric at fail time, e.g. CIOQ ingress).
+            self._drop(pkt, DROP_SWITCH_FAILED)
+            return
         pkt.hops += 1
+        if pkt.hops > self.hop_limit:
+            raise LivelockError(
+                f"packet exceeded hop guard at {self.name}: {pkt.hops} hops "
+                f"(limit {self.hop_limit}) — ttl={pkt.ttl}, detours={pkt.detours}"
+            )
         if pkt.path is not None:
             pkt.path.append(self.name)
 
@@ -169,12 +225,14 @@ class Switch(Node):
     # DIBS
     # ------------------------------------------------------------------
     def detour_candidates(self, desired: Port, in_port: int) -> list[Port]:
-        """Eligible detour ports per §2: connected, switch-facing, not full,
-        and not the desired port itself."""
+        """Eligible detour ports per §2: connected, up, switch-facing, not
+        full, and not the desired port itself.  Down ports (failed links or
+        crashed neighbors) shrink the detour mask — the virtual buffer
+        loses the dead neighborhood."""
         allow_ingress = self.dibs.allow_detour_to_ingress
         candidates = []
         for port in self.ports:
-            if port is desired or port.peer_node is None or port.peer_is_host:
+            if port is desired or port.peer_node is None or port.peer_is_host or not port.up:
                 continue
             if not allow_ingress and port.index == in_port:
                 continue
@@ -199,10 +257,14 @@ class Switch(Node):
         self.counters.detours += 1
         if self.on_detour is not None:
             self.on_detour(self.scheduler.now, self, pkt)
-        sent = choice.send(pkt)
-        # Candidates were filtered to non-full queues and nothing can run
-        # between the check and the send in a discrete-event world.
-        assert sent, "detour port rejected a packet that fit at selection time"
+        # Candidates were filtered to up, non-full ports and nothing can run
+        # between the check and the send in a discrete-event world.  A real
+        # error (not an assert) so a violation cannot silently leak the
+        # packet under ``python -O``.
+        if not choice.send(pkt):
+            raise SimulationError(
+                f"{self.name}: detour port rejected a packet that fit at selection time"
+            )
         self.counters.forwards += 1
 
     # ------------------------------------------------------------------
@@ -213,6 +275,8 @@ class Switch(Node):
             self.counters.drops_no_route += 1
         elif reason == DROP_NO_DETOUR:
             self.counters.drops_no_detour += 1
+        elif reason == DROP_SWITCH_FAILED:
+            self.counters.drops_switch_failed += 1
         else:
             self.counters.drops_overflow += 1
         if self.on_drop is not None:

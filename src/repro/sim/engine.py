@@ -18,11 +18,22 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
-__all__ = ["Event", "Scheduler", "SimulationError"]
+__all__ = ["Event", "Scheduler", "SimulationError", "LivelockError"]
 
 
 class SimulationError(RuntimeError):
     """Raised on scheduler misuse (e.g. scheduling into the past)."""
+
+
+class LivelockError(SimulationError):
+    """The simulation stopped making progress.
+
+    Raised by runtime guards (see :mod:`repro.faults.watchdog`) when events
+    keep processing without simulated time advancing, or when a packet's
+    hop count explodes past any TTL-derived bound.  Both conditions mean a
+    bug (a zero-delay event loop, a forwarding cycle that skips the TTL
+    decrement) that would otherwise spin or silently corrupt results.
+    """
 
 
 class Event:
@@ -66,7 +77,8 @@ class Scheduler:
         sched.run(until=1.0)
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_events_processed", "_running")
+    __slots__ = ("now", "_heap", "_seq", "_events_processed", "_running",
+                 "watchdog", "watchdog_interval_events")
 
     def __init__(self) -> None:
         self.now: float = 0.0
@@ -74,6 +86,13 @@ class Scheduler:
         self._seq: int = 0
         self._events_processed: int = 0
         self._running: bool = False
+        # Optional progress guard: ``watchdog(self)`` is invoked from the
+        # run loop every ``watchdog_interval_events`` processed events.  It
+        # must run *inside* the loop (not as a scheduled event) because a
+        # livelocked simulation never reaches a later timestamp, so a
+        # scheduled check would never fire.
+        self.watchdog: Optional[Callable[["Scheduler"], None]] = None
+        self.watchdog_interval_events: int = 100_000
 
     # ------------------------------------------------------------------
     # scheduling
@@ -111,6 +130,9 @@ class Scheduler:
         self._running = True
         processed = 0
         heap = self._heap
+        watchdog = self.watchdog
+        wd_interval = self.watchdog_interval_events
+        wd_countdown = wd_interval
         try:
             while heap:
                 ev = heap[0]
@@ -123,6 +145,11 @@ class Scheduler:
                 ev.fn(*ev.args)
                 processed += 1
                 self._events_processed += 1
+                if watchdog is not None:
+                    wd_countdown -= 1
+                    if wd_countdown <= 0:
+                        wd_countdown = wd_interval
+                        watchdog(self)
                 if max_events is not None and processed >= max_events:
                     break
         finally:

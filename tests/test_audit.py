@@ -37,8 +37,10 @@ class TestSingleFlow:
         assert d["leaked"] == 0
         assert set(d) == {
             "data_sent", "acks_sent", "data_delivered", "acks_delivered",
-            "unclaimed", "misdelivered", "dropped", "parked", "leaked",
+            "unclaimed", "misdelivered", "dropped", "parked", "in_flight",
+            "leaked",
         }
+        assert d["in_flight"] == 0  # quiescent: nothing propagating
 
 
 class TestUnderLoss:

@@ -6,7 +6,7 @@ from repro.net.link import Port, connect
 from repro.net.node import Node
 from repro.net.packet import Packet
 from repro.net.queues import DropTailQueue
-from repro.sim.engine import Scheduler
+from repro.sim.engine import Scheduler, SimulationError
 
 
 class SinkNode(Node):
@@ -149,3 +149,128 @@ class TestWiring:
         ports = [Port(node, DropTailQueue(1), 1e9, 0.0) for _ in range(4)]
         assert [p.index for p in ports] == [0, 1, 2, 3]
         assert node.ports == ports
+
+    def test_unconnected_delivery_raises(self):
+        # A miswired topology must fail loudly (even under python -O,
+        # which would have silenced the old assert).
+        sched = Scheduler()
+        node = SinkNode(0, "n", sched)
+        port = Port(node, DropTailQueue(10), 1e9, 0.0)
+        port.send(pkt())
+        with pytest.raises(SimulationError, match="not connected"):
+            sched.run()
+
+
+class TestPauseExpiry:
+    def test_timed_pause_auto_resumes(self):
+        sched, a, b, pa, pb = make_pair(delay_s=0.0)
+        pa.pause(50e-6)
+        pa.send(pkt())
+        sched.run()
+        # Held for the pause duration, then 12 us serialization.
+        assert b.arrivals[0][0] == pytest.approx(50e-6 + 12e-6)
+
+    def test_indefinite_pause_cancels_pending_expiry(self):
+        # pause(duration) then pause(None): the earlier timed expiry must
+        # not fire and resume a port that was since re-paused indefinitely.
+        sched, a, b, pa, pb = make_pair(delay_s=0.0)
+        pa.pause(50e-6)
+        pa.pause(None)
+        pa.send(pkt())
+        sched.run(until=1.0)
+        assert pa.paused
+        assert b.arrivals == []  # still parked, expiry never fired
+        pa.resume()
+        sched.run()
+        assert len(b.arrivals) == 1
+
+    def test_repause_extends_expiry(self):
+        sched, a, b, pa, pb = make_pair(delay_s=0.0)
+        pa.pause(50e-6)
+        pa.pause(200e-6)  # replaces, not stacks: only the later expiry fires
+        pa.send(pkt())
+        sched.run()
+        assert b.arrivals[0][0] == pytest.approx(200e-6 + 12e-6)
+
+    def test_resume_on_busy_port_does_not_double_start(self):
+        sched, a, b, pa, pb = make_pair(delay_s=0.0)
+        pa.send(pkt())  # starts transmitting immediately (12 us)
+        pa.send(pkt())  # queued behind it
+        pa.pause()
+        pa.resume()  # port is mid-transmission: must NOT re-enter _tx_next
+        sched.run()
+        times = [t for t, _p, _i in b.arrivals]
+        assert times == [pytest.approx(12e-6), pytest.approx(24e-6)]
+        assert pa.busy_seconds == pytest.approx(24e-6)
+
+    def test_resume_without_pause_is_noop(self):
+        sched, a, b, pa, pb = make_pair(delay_s=0.0)
+        pa.send(pkt())
+        pa.resume()  # never paused: nothing to do, no double-start
+        sched.run()
+        assert len(b.arrivals) == 1
+        assert pa.pkts_sent == 1
+
+
+class TestFaultState:
+    def test_down_port_rejects_sends(self):
+        sched, a, b, pa, pb = make_pair()
+        pa.set_down()
+        assert not pa.send(pkt())
+        assert pa.drops_link_down == 1
+        sched.run()
+        assert b.arrivals == []
+
+    def test_set_down_kills_in_flight_packets(self):
+        sched, a, b, pa, pb = make_pair(rate_bps=1e9, delay_s=100e-6)
+        pa.send(pkt())
+        sched.run(until=50e-6)  # transmitted, still propagating
+        assert pa.in_flight == 1
+        killed = pa.set_down()
+        sched.run()
+        assert killed == 1
+        assert pa.in_flight == 0
+        assert pa.drops_link_down == 1
+        assert b.arrivals == []  # the delivery event was cancelled
+
+    def test_set_up_drains_parked_queue(self):
+        sched, a, b, pa, pb = make_pair(delay_s=0.0)
+        pa.send(pkt())
+        pa.send(pkt())
+        sched.run(until=6e-6)  # first packet mid-transmission
+        pa.set_down()
+        sched.run(until=1.0)
+        assert b.arrivals == []  # first killed, second parked in queue
+        assert len(pa.queue) == 1
+        pa.set_up()
+        sched.run()
+        assert len(b.arrivals) == 1  # the parked packet finally crosses
+
+    def test_set_down_idempotent(self):
+        sched, a, b, pa, pb = make_pair()
+        pa.send(pkt())
+        assert pa.set_down() == 1
+        assert pa.set_down() == 0  # already down: nothing more to kill
+        assert pa.drops_link_down == 1
+
+    def test_in_flight_counts_ledger_exactly(self):
+        sched, a, b, pa, pb = make_pair(rate_bps=1e9, delay_s=100e-6)
+        for _ in range(3):
+            pa.send(pkt())
+        # At 40 us: all three serialized (12/24/36 us) but none delivered
+        # (earliest arrival is 112 us).
+        sched.run(until=40e-6)
+        assert pa.in_flight == 3
+        sched.run()
+        assert pa.in_flight == 0
+        assert len(b.arrivals) == 3
+
+    def test_corruption_budget_consumed_in_order(self):
+        sched, a, b, pa, pb = make_pair(delay_s=0.0)
+        pa.corrupt_next = 2
+        for _ in range(4):
+            pa.send(pkt())
+        sched.run()
+        assert pa.drops_corrupt == 2
+        assert pa.corrupt_next == 0
+        assert len(b.arrivals) == 2  # first two eaten, rest clean

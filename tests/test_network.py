@@ -209,5 +209,8 @@ class TestAccounting:
             "host_nic",
             "pfabric_evictions",
             "ingress_overflow",
+            "switch_failed",
+            "link_down",
+            "corrupt",
         }
         assert report["overflow"] == net.total_drops()

@@ -286,4 +286,5 @@ class TestIntrospection:
             "drops_ttl",
             "drops_no_route",
             "drops_no_detour",
+            "drops_switch_failed",
         }
