@@ -15,6 +15,7 @@ surface as a failed run in the telemetry footer.
 """
 
 from repro.experiments import PAPER_DEFAULTS, SCALED_DEFAULTS
+from repro.experiments.journal import RunJournal
 from repro.experiments.parallel import RunTelemetry, run_grid
 from repro.experiments.report import format_table
 from repro.faults import LINK_DOWN
@@ -52,7 +53,8 @@ def pick_core_links(topology, n: int) -> tuple[tuple[str, str], ...]:
     return tuple(picked)
 
 
-def run(full: bool = False, workers: int = 1) -> str:
+def run(full: bool = False, workers: int = 1,
+        journal_dir: str | None = None, resume: bool = False) -> str:
     base = (PAPER_DEFAULTS if full else SCALED_DEFAULTS).with_overrides(
         duration_s=1.0 if full else 0.2,
         invariant_check_interval_s=0.05,
@@ -72,7 +74,9 @@ def run(full: bool = False, workers: int = 1) -> str:
                 name=f"faults:{scheme}:{failed}",
             )
     telemetry = RunTelemetry()
-    results = run_grid(cells, seeds=(0,), workers=workers, telemetry=telemetry)
+    journal = RunJournal(journal_dir) if journal_dir else None
+    results = run_grid(cells, seeds=(0,), workers=workers, telemetry=telemetry,
+                       journal=journal, resume=resume)
     rows = []
     for failed in FAILURE_COUNTS:
         row = {"failed_core_links": failed}
@@ -97,7 +101,16 @@ def run(full: bool = False, workers: int = 1) -> str:
         "fabric while DCTCP's drops climb.  All runs execute with the\n"
         "livelock watchdog armed and periodic conservation audits."
     )
-    return format_table(rows, title=title) + "\n\n" + telemetry.summary()
+    # Executor-resilience footer: how much graceful degradation the sweep
+    # itself needed (retries/backoff), and what the journal did for it.
+    resilience = (
+        f"resilience: retries {telemetry.retries}"
+        f" | backoff waits {telemetry.backoff_waits} ({telemetry.backoff_total_s:.2f}s)"
+        f" | timeout escalations {telemetry.timeout_escalations}"
+        f" | cells resumed {telemetry.cells_resumed}, journaled {telemetry.cells_journaled}"
+        f" | interrupted {telemetry.interrupted}"
+    )
+    return format_table(rows, title=title) + "\n\n" + telemetry.summary() + "\n" + resilience
 
 
 def test_fault_resilience(benchmark):

@@ -7,6 +7,7 @@ infinite-buffer line even at tiny buffers.
 """
 
 from repro.experiments import PAPER_DEFAULTS, SCALED_DEFAULTS
+from repro.experiments.journal import RunJournal
 from repro.experiments.parallel import RunTelemetry, run_grid
 from repro.experiments.report import format_table
 
@@ -17,7 +18,8 @@ NAME = "fig07_buffer_sweep"
 SCHEMES = (("dctcp", "DCTCP"), ("dctcp-inf", "DCTCP w/ infi"), ("dibs", "DCTCP + DIBS"))
 
 
-def run(full: bool = False, workers: int = 1) -> str:
+def run(full: bool = False, workers: int = 1,
+        journal_dir: str | None = None, resume: bool = False) -> str:
     base = (PAPER_DEFAULTS if full else SCALED_DEFAULTS).with_overrides(
         duration_s=1.0 if full else 0.2, name="fig07",
     )
@@ -31,7 +33,9 @@ def run(full: bool = False, workers: int = 1) -> str:
                 name=f"fig07:{scheme}:{buffer_pkts}",
             )
     telemetry = RunTelemetry()
-    results = run_grid(cells, seeds=(0,), workers=workers, telemetry=telemetry)
+    journal = RunJournal(journal_dir) if journal_dir else None
+    results = run_grid(cells, seeds=(0,), workers=workers, telemetry=telemetry,
+                       journal=journal, resume=resume)
     rows = []
     for buffer_pkts in buffers:
         row = {"buffer_pkts": buffer_pkts}

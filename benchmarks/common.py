@@ -49,18 +49,34 @@ def cli_main(name: str, run_fn) -> None:
 
     ``--workers`` is forwarded only to benches whose ``run`` accepts it
     (the sweep-heavy ones fan their grid out across worker processes).
+    Benches whose ``run`` accepts ``journal_dir`` additionally get
+    ``--journal-dir DIR`` / ``--resume``: the sweep grid is checkpointed
+    per (cell, seed) run and an interrupted bench rerun with ``--resume``
+    produces the identical table without redoing completed cells.
     """
     parser = argparse.ArgumentParser(description=f"Regenerate {name}")
     parser.add_argument("--full", action="store_true",
                         help="use the paper's full-scale parameters (slow)")
     kwargs = {}
-    accepts_workers = "workers" in inspect.signature(run_fn).parameters
+    params = inspect.signature(run_fn).parameters
+    accepts_workers = "workers" in params
+    accepts_journal = "journal_dir" in params
     if accepts_workers:
         parser.add_argument("--workers", type=int, default=1,
                             help="worker processes for the sweep grid (1 = serial)")
+    if accepts_journal:
+        parser.add_argument("--journal-dir", default=None, dest="journal_dir",
+                            metavar="DIR",
+                            help="checkpoint completed runs into DIR "
+                                 "(atomic per-cell journal; see repro.experiments.journal)")
+        parser.add_argument("--resume", action="store_true",
+                            help="skip runs already journaled in --journal-dir")
     args = parser.parse_args()
     if accepts_workers:
         kwargs["workers"] = args.workers
+    if accepts_journal:
+        kwargs["journal_dir"] = args.journal_dir
+        kwargs["resume"] = args.resume
     text = run_fn(full=args.full, **kwargs)
     save_table(name + ("-full" if args.full else ""), text)
     print(text)

@@ -4,6 +4,7 @@ Commands
 --------
 ``run``      one scenario (any scheme), print the headline metrics
 ``sweep``    sweep one Scenario parameter across values and schemes
+``replay``   re-execute a failure replay bundle from a journal
 ``schemes``  list available schemes and the Table 1/2 defaults
 ``topo``     describe a topology (sizes, degrees, diameter)
 
@@ -13,11 +14,17 @@ Examples::
     python -m repro sweep --param buffer_pkts --values 5,10,25,50 \
         --schemes dctcp,dibs
     python -m repro sweep --param qps --values 40,125,250 --seeds 0,1,2 \
-        --workers 4 --run-timeout 300
+        --workers 4 --run-timeout 300 --journal-dir runs/qps --resume
+    python -m repro replay runs/qps/failures/<hash>.bundle.json
     python -m repro topo --topology fattree --k 8
 
 ``--workers N`` fans the (value x scheme x seed) grid out over N worker
 processes (results identical to serial; see repro.experiments.parallel).
+``--journal-dir DIR`` checkpoints every completed (value, scheme, seed)
+cell atomically; ``--resume`` skips already-journaled cells, so an
+interrupted sweep restarted with the same arguments produces bit-identical
+pooled results.  Exit codes: 0 ok, 1 permanently failed runs, 130
+interrupted (SIGINT/SIGTERM; partial results printed, journal flushed).
 """
 
 from __future__ import annotations
@@ -26,13 +33,22 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro.experiments.journal import (
+    RunJournal,
+    load_replay_bundle,
+    scenario_from_json_dict,
+)
 from repro.experiments.parallel import RunTelemetry
 from repro.experiments.report import format_sweep, format_table
-from repro.experiments.runner import run_pooled
+from repro.experiments.runner import run_pooled, run_scenario
 from repro.experiments.scenarios import PAPER_DEFAULTS, SCALED_DEFAULTS, SCHEMES, Scenario
 from repro.experiments.sweep import sweep as run_sweep
 
 __all__ = ["main", "build_parser"]
+
+# Conventional "terminated by SIGINT" exit status, distinct from 1 (failed
+# runs) so supervisors/CI can tell an interrupted sweep from a broken one.
+EXIT_INTERRUPTED = 130
 
 _NUMERIC_FIELDS = {
     "k": int,
@@ -51,6 +67,7 @@ _NUMERIC_FIELDS = {
     "link_flap_downtime_s": float,
     "corrupt_rate": float,
     "invariant_check_interval_s": float,
+    "max_pending_events": int,
 }
 
 
@@ -73,6 +90,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--schemes", default="dctcp,dibs", help="comma-separated schemes")
     sweep_p.add_argument("--seeds", default="0", help="comma-separated seeds to pool")
     _add_parallel_args(sweep_p)
+
+    replay_p = sub.add_parser(
+        "replay",
+        help="re-execute a failure replay bundle written under --journal-dir",
+    )
+    replay_p.add_argument("bundle", help="path to a failures/<hash>.bundle.json")
 
     sub.add_parser("schemes", help="list schemes and defaults")
 
@@ -108,7 +131,18 @@ def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
                         help="worker processes for (value x scheme x seed) fan-out "
                              "(1 = serial; results are identical either way)")
     parser.add_argument("--run-timeout", type=float, default=None, dest="run_timeout",
-                        help="per-run timeout in wall-clock seconds (parallel mode)")
+                        help="per-run timeout in wall-clock seconds (parallel mode; "
+                             "escalates x1.5 per retry)")
+    parser.add_argument("--max-retries", type=int, default=1, dest="max_retries",
+                        help="retries per failed run before it is recorded as failed "
+                             "(jittered exponential backoff between attempts)")
+    parser.add_argument("--journal-dir", default=None, dest="journal_dir", metavar="DIR",
+                        help="checkpoint every completed run into DIR (atomic, "
+                             "content-keyed); failed runs dump replay bundles under "
+                             "DIR/failures/")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip runs already journaled in --journal-dir; the "
+                             "resumed output is bit-identical to an uninterrupted run")
 
 
 def _scenario_from_args(args: argparse.Namespace) -> Scenario:
@@ -148,20 +182,40 @@ def _parse_values(text: str):
     return values
 
 
+def _journal_from_args(args: argparse.Namespace):
+    """Build the RunJournal (or None) requested on the command line."""
+    if getattr(args, "resume", False) and not getattr(args, "journal_dir", None):
+        raise SystemExit("error: --resume requires --journal-dir")
+    if getattr(args, "journal_dir", None):
+        return RunJournal(args.journal_dir)
+    return None
+
+
+def _exit_code(telemetry: RunTelemetry) -> int:
+    if telemetry.interrupted:
+        return EXIT_INTERRUPTED
+    return 1 if telemetry.runs_failed else 0
+
+
 def _cmd_run(args: argparse.Namespace) -> tuple[str, int]:
     scenario = _scenario_from_args(args)
     telemetry = RunTelemetry()
+    journal = _journal_from_args(args)
     try:
         result = run_pooled(
             scenario,
             seeds=_parse_seeds(args.seeds),
             workers=args.workers,
             run_timeout_s=args.run_timeout,
+            max_retries=args.max_retries,
             telemetry=telemetry,
+            journal=journal,
+            resume=args.resume,
         )
     except RuntimeError as exc:
-        # Every seed failed (e.g. a watchdog or invariant abort).
-        return f"error: {exc}\n\n{telemetry.summary()}", 1
+        # Every seed failed (e.g. a watchdog or invariant abort), or the
+        # run was interrupted before any seed completed.
+        return f"error: {exc}\n\n{telemetry.summary()}", _exit_code(telemetry) or 1
     rows = [result.row()]
     rows[0]["flows"] = f"{result.flows_completed}/{result.flows_total}"
     rows[0]["events"] = result.events
@@ -169,14 +223,15 @@ def _cmd_run(args: argparse.Namespace) -> tuple[str, int]:
     if result.faults_applied:
         rows[0]["faults"] = sum(result.faults_applied.values())
     text = format_table(rows, title=f"scheme={scenario.scheme} (seeds={args.seeds})")
-    if telemetry.runs_failed:
+    if telemetry.runs_failed or telemetry.interrupted or telemetry.cells_resumed:
         text += "\n\n" + telemetry.summary()
-    return text, 1 if telemetry.runs_failed else 0
+    return text, _exit_code(telemetry)
 
 
 def _cmd_sweep(args: argparse.Namespace) -> tuple[str, int]:
     scenario = _scenario_from_args(args)
     telemetry = RunTelemetry()
+    journal = _journal_from_args(args)
     results = run_sweep(
         scenario,
         args.param,
@@ -185,10 +240,51 @@ def _cmd_sweep(args: argparse.Namespace) -> tuple[str, int]:
         seeds=_parse_seeds(args.seeds),
         workers=args.workers,
         run_timeout_s=args.run_timeout,
+        max_retries=args.max_retries,
         telemetry=telemetry,
+        journal=journal,
+        resume=args.resume,
     )
     table = format_sweep(results, args.param, title=f"sweep over {args.param}")
-    return table + "\n\n" + telemetry.summary(), 1 if telemetry.runs_failed else 0
+    return table + "\n\n" + telemetry.summary(), _exit_code(telemetry)
+
+
+def _cmd_replay(args: argparse.Namespace) -> tuple[str, int]:
+    """Re-execute a journaled failure from its replay bundle alone.
+
+    Exit code 0 when the recorded abort reproduces (same exception class),
+    1 when the run completes or fails differently.  Bundles for
+    non-deterministic failures (wall-clock timeouts, worker crashes) carry
+    no expected exception; replaying them just reruns the scenario and
+    reports the outcome.
+    """
+    bundle = load_replay_bundle(args.bundle)
+    scenario = scenario_from_json_dict(bundle["scenario"])
+    expect = bundle.get("expect_exception")
+    lines = [
+        f"replaying {bundle['key']} (scenario hash {bundle['hash'][:12]}…, "
+        f"seed {bundle.get('seed')})",
+        f"recorded failure: {bundle['reason']} after {len(bundle.get('attempts', []))} attempt(s)",
+    ]
+    try:
+        result = run_scenario(scenario, trace_paths=bool(bundle.get("trace_paths")))
+    except Exception as exc:  # noqa: BLE001 - replay reports, never propagates
+        got = type(exc).__name__
+        if expect and got == expect:
+            lines.append(f"reproduced {got}: {exc}")
+            return "\n".join(lines), 0
+        lines.append(f"failed differently: expected {expect or 'completion'}, got {got}: {exc}")
+        return "\n".join(lines), 1
+    lines.append(
+        f"run completed ({result.events} events, "
+        f"{result.queries_completed}/{result.queries_started} queries)"
+    )
+    if expect:
+        lines.append(f"did NOT reproduce the recorded {expect}")
+        return "\n".join(lines), 1
+    lines.append("recorded failure was not a deterministic abort (timeout/crash); "
+                 "completion here is consistent with a transient cause")
+    return "\n".join(lines), 0
 
 
 def _cmd_schemes() -> str:
@@ -222,6 +318,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(text)
     elif args.command == "sweep":
         text, code = _cmd_sweep(args)
+        print(text)
+    elif args.command == "replay":
+        text, code = _cmd_replay(args)
         print(text)
     elif args.command == "schemes":
         print(_cmd_schemes())

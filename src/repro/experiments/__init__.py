@@ -1,5 +1,11 @@
 """Experiment harness: scenarios, runner, parallel executor, sweeps, reports."""
 
+from repro.experiments.journal import (
+    RunJournal,
+    load_replay_bundle,
+    scenario_from_json_dict,
+    scenario_hash,
+)
 from repro.experiments.parallel import (
     RunFailure,
     RunProgress,
@@ -49,4 +55,8 @@ __all__ = [
     "execute_runs",
     "run_grid",
     "default_workers",
+    "RunJournal",
+    "scenario_hash",
+    "scenario_from_json_dict",
+    "load_replay_bundle",
 ]

@@ -1,0 +1,232 @@
+"""Durable run journal: checkpointed, resumable, replayable sweeps.
+
+The sweep grids behind Figures 7–16 are hours of CPU time at full scale; a
+worker OOM, a ``LivelockError`` at seed 47/50, or a Ctrl-C used to throw
+every completed cell away.  :class:`RunJournal` makes the experiment layer
+re-entrant:
+
+* **Content-keyed entries** — every completed (experiment, value, scheme,
+  seed) cell is persisted as one JSON file named by a SHA-256 hash of the
+  fully-specified scenario (see :func:`scenario_hash`).  Two grids that
+  contain the same scenario point share the entry, and any change to any
+  scenario knob — including the seed — changes the key, so a stale journal
+  can never satisfy a different experiment.
+* **Atomic writes** — entries land via temp file + ``os.replace`` in the
+  same directory, so a SIGKILL at any instant leaves either the previous
+  state or the complete new file, never a torn one.  Readers ignore
+  ``*.tmp.*`` droppings from killed writers.
+* **Resume** — ``execute_runs(..., journal=..., resume=True)`` (CLI:
+  ``--journal-dir DIR --resume``) rehydrates journaled cells instead of
+  re-running them; the final merge goes through the ordinary seed-ordered
+  ``merge_results`` path, so a resumed sweep is bit-identical to an
+  uninterrupted one.
+* **Replay bundles** — a run that permanently fails (crash, timeout,
+  ``LivelockError``, ``InvariantError``, ``ResourceError``) dumps a
+  self-contained bundle under ``failures/``: scenario, seed, fault spec,
+  per-attempt history (reason, wall time, timeout, backoff), and the
+  worker traceback.  ``repro replay bundle.json`` re-executes the scenario
+  from the bundle alone and checks the same exception class reproduces.
+
+Directory layout::
+
+    <journal-dir>/
+        <scenario-hash>.json            one completed cell (schema v1)
+        failures/
+            <scenario-hash>.bundle.json replay bundle for a failed cell
+
+Nothing is buffered in memory: every write is flushed at cell granularity,
+so "flushing the journal" on shutdown is a no-op by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import asdict
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.experiments.runner import ExperimentResult, result_from_dict, result_to_dict
+from repro.experiments.scenarios import Scenario
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RunJournal",
+    "scenario_hash",
+    "scenario_from_json_dict",
+    "load_replay_bundle",
+    "exception_class_from_reason",
+]
+
+SCHEMA_VERSION = 1
+
+# "ValueError: ..." / "LivelockError: ..." -> the class name; reasons like
+# "timeout after 5s" or "worker crashed (exit code -9)" yield None.
+_REASON_CLASS_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):")
+
+PathLike = Union[str, Path]
+
+
+def scenario_hash(scenario: Scenario, trace_paths: bool = False) -> str:
+    """Stable content hash of a fully-specified scenario point.
+
+    Canonical JSON (sorted keys, tight separators) over ``asdict`` output,
+    plus the ``trace_paths`` execution flag, hashed with SHA-256.  Every
+    scenario field participates, so any override — seed included — yields
+    a different journal key.
+    """
+    blob = json.dumps(
+        {"scenario": asdict(scenario), "trace_paths": bool(trace_paths)},
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def scenario_from_json_dict(data: dict) -> Scenario:
+    """Rebuild a :class:`Scenario` from a JSON-decoded ``asdict`` payload.
+
+    JSON turns the ``faults`` tuple-of-tuples into lists; convert back so
+    the frozen dataclass matches what produced the hash.
+    """
+    fields = dict(data)
+    if fields.get("faults") is not None:
+        fields["faults"] = tuple(tuple(row) for row in fields["faults"])
+    return Scenario(**fields)
+
+
+def exception_class_from_reason(reason: str) -> Optional[str]:
+    """Extract the exception class from an executor failure reason, if any."""
+    match = _REASON_CLASS_RE.match(reason)
+    return match.group(1) if match else None
+
+
+def _atomic_write_json(path: Path, payload: dict) -> Path:
+    """Write JSON durably: temp file in the same directory + ``os.replace``."""
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str))
+    os.replace(tmp, path)
+    return path
+
+
+class RunJournal:
+    """A directory of durable, content-keyed per-run checkpoints."""
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.failures_dir = self.directory / "failures"
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def entry_path(self, request) -> Path:
+        return self.directory / f"{self._hash(request)}.json"
+
+    def bundle_path(self, request) -> Path:
+        return self.failures_dir / f"{self._hash(request)}.bundle.json"
+
+    @staticmethod
+    def _hash(request) -> str:
+        return scenario_hash(request.scenario, trace_paths=request.trace_paths)
+
+    # ------------------------------------------------------------------
+    # read side
+    # ------------------------------------------------------------------
+    def lookup(self, request) -> Optional[ExperimentResult]:
+        """Return the journaled result for this request, or ``None``.
+
+        Defensive on every axis: a missing file, undecodable JSON (cannot
+        happen through the atomic writer, but the directory is user-owned),
+        a schema mismatch, or a hash mismatch all read as "not journaled".
+        """
+        path = self.entry_path(request)
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(entry, dict) or entry.get("schema") != SCHEMA_VERSION:
+            return None
+        if entry.get("hash") != self._hash(request) or "result" not in entry:
+            return None
+        return result_from_dict(entry["result"], scenario=request.scenario)
+
+    def completed_count(self) -> int:
+        """Number of completed cells currently journaled."""
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    # ------------------------------------------------------------------
+    # write side
+    # ------------------------------------------------------------------
+    def record_success(
+        self,
+        request,
+        result: ExperimentResult,
+        attempts: Optional[Sequence[dict]] = None,
+    ) -> Path:
+        """Persist one completed cell atomically; returns the entry path.
+
+        A success supersedes any earlier failure bundle for the same cell
+        (e.g. a timeout that passed on retry): the stale bundle is removed
+        so ``failures/`` only lists cells that are still failed.
+        """
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "kind": "result",
+            "hash": self._hash(request),
+            "key": str(request.key),
+            "scenario": asdict(request.scenario),
+            "trace_paths": request.trace_paths,
+            "attempts": list(attempts or ()),
+            "result": result_to_dict(result, include_scenario=False),
+        }
+        path = _atomic_write_json(self.entry_path(request), entry)
+        stale_bundle = self.bundle_path(request)
+        if stale_bundle.exists():
+            try:
+                stale_bundle.unlink()
+            except OSError:  # pragma: no cover - best effort
+                pass
+        return path
+
+    def record_failure(
+        self,
+        request,
+        reason: str,
+        attempts: Sequence[dict],
+        traceback_text: Optional[str] = None,
+    ) -> Path:
+        """Dump a self-contained replay bundle for a permanently failed run."""
+        self.failures_dir.mkdir(parents=True, exist_ok=True)
+        bundle = {
+            "schema": SCHEMA_VERSION,
+            "kind": "replay-bundle",
+            "hash": self._hash(request),
+            "key": str(request.key),
+            "scenario": asdict(request.scenario),
+            "trace_paths": request.trace_paths,
+            "seed": request.scenario.seed,
+            "faults": request.scenario.faults,
+            "reason": reason,
+            "expect_exception": exception_class_from_reason(reason),
+            "attempts": list(attempts),
+            "traceback": traceback_text,
+        }
+        return _atomic_write_json(self.bundle_path(request), bundle)
+
+
+def load_replay_bundle(path: PathLike) -> dict:
+    """Load and sanity-check a replay bundle written by ``record_failure``."""
+    bundle = json.loads(Path(path).read_text())
+    if not isinstance(bundle, dict) or bundle.get("kind") != "replay-bundle":
+        raise ValueError(f"{path} is not a replay bundle")
+    if bundle.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path} has schema {bundle.get('schema')!r}, expected {SCHEMA_VERSION}"
+        )
+    if "scenario" not in bundle:
+        raise ValueError(f"{path} carries no scenario")
+    return bundle

@@ -11,8 +11,17 @@ semantics of the serial path:
   percentiles and counters, independent of worker count or completion order.
 * **Isolation** — one process per run, so a crashing or wedged simulation
   cannot take the sweep down.  A crashed, raising, or timed-out run is
-  retried up to ``max_retries`` times and then recorded in
-  :class:`RunTelemetry` instead of raising.
+  retried up to ``max_retries`` times — with capped exponential backoff,
+  deterministic jitter, and a ×1.5 per-attempt timeout escalation — and
+  then recorded in :class:`RunTelemetry` instead of raising.
+* **Durability** — with a :class:`~repro.experiments.journal.RunJournal`
+  attached, every completed cell is checkpointed atomically the moment it
+  settles, ``resume=True`` skips already-journaled cells, and a permanent
+  failure dumps a self-contained replay bundle.
+* **Graceful shutdown** — SIGINT/SIGTERM drains in-flight results, flushes
+  them to the journal, terminates and joins every worker (no orphans), and
+  returns the partial results with ``telemetry.interrupted`` set so
+  callers can distinguish "interrupted" from "failed".
 * **Degradation** — ``workers=1``, or a platform where multiprocessing
   offers neither ``fork`` nor ``spawn``, runs everything serially
   in-process with identical results and the same telemetry shape.
@@ -29,10 +38,14 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue as queue_mod
+import random
+import signal
+import threading
 import time
+import traceback as traceback_mod
 from collections import deque
 from dataclasses import asdict, dataclass, field
-from typing import Callable, Dict, Hashable, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, Hashable, List, Mapping, Optional, Sequence
 
 from repro.experiments.runner import (
     ExperimentResult,
@@ -42,6 +55,10 @@ from repro.experiments.runner import (
     run_scenario,
 )
 from repro.experiments.scenarios import Scenario
+from repro.sim.rng import stable_hash
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.journal import RunJournal
 
 __all__ = [
     "RunRequest",
@@ -61,14 +78,34 @@ ProgressHook = Callable[["RunProgress"], None]
 _CRASH_DRAIN_S = 0.25
 _POLL_S = 0.05
 
-# Deterministic aborts raised by the robustness guards (repro.faults): the
-# same scenario + seed will fail identically every time, so retrying only
-# burns wall clock.  They settle as recorded failures on the first attempt.
-_NON_RETRYABLE_PREFIXES = ("LivelockError", "InvariantError")
+# Retry backoff: attempt n waits min(cap, base * 2**(n-1)) scaled by a
+# jitter factor in [0.5, 1.5) drawn from a dedicated RNG stream keyed on
+# (run key, attempt) — deterministic across reruns, decorrelated across
+# cells so a crashed batch does not retry in lockstep.
+_BACKOFF_BASE_S = 0.05
+_BACKOFF_CAP_S = 5.0
+# Each retry of a timed-out (or otherwise failed) run gets 1.5x the
+# previous attempt's timeout: transient slowness gets headroom instead of
+# hitting the same wall three times.
+_TIMEOUT_ESCALATION = 1.5
+
+# Deterministic aborts raised by the robustness guards (repro.faults and
+# repro.sim.engine): the same scenario + seed will fail identically every
+# time, so retrying only burns wall clock.  They settle as recorded
+# failures on the first attempt.
+_NON_RETRYABLE_PREFIXES = ("LivelockError", "InvariantError", "ResourceError")
 
 
 def _retryable(reason: str) -> bool:
     return not reason.startswith(_NON_RETRYABLE_PREFIXES)
+
+
+def _backoff_delay(key: Hashable, attempt: int,
+                   base_s: float = _BACKOFF_BASE_S, cap_s: float = _BACKOFF_CAP_S) -> float:
+    """Deterministic jittered exponential backoff before retry ``attempt + 1``."""
+    rng = random.Random(stable_hash(str(key), "retry-backoff", attempt))
+    delay = min(cap_s, base_s * (2 ** (attempt - 1)))
+    return delay * (0.5 + rng.random())
 
 
 def default_workers() -> int:
@@ -95,9 +132,15 @@ class RunFailure:
     key: Hashable
     attempts: int
     reason: str
+    bundle: Optional[str] = None  # replay-bundle path, when a journal is attached
 
     def as_dict(self) -> dict:
-        return {"key": str(self.key), "attempts": self.attempts, "reason": self.reason}
+        return {
+            "key": str(self.key),
+            "attempts": self.attempts,
+            "reason": self.reason,
+            "bundle": self.bundle,
+        }
 
 
 @dataclass
@@ -105,7 +148,7 @@ class RunProgress:
     """Snapshot handed to the progress hook each time a run settles."""
 
     key: Hashable
-    status: str  # "ok" | "retry" | "failed"
+    status: str  # "ok" | "retry" | "failed" | "resumed"
     attempt: int
     completed: int
     total: int
@@ -134,6 +177,13 @@ class RunTelemetry:
     per_run_wall: Dict[str, float] = field(default_factory=dict)
     failure_counts: Dict[str, int] = field(default_factory=dict)
     failures: list = field(default_factory=list)
+    # Robustness accounting (journal / backoff / shutdown).
+    backoff_waits: int = 0
+    backoff_total_s: float = 0.0
+    timeout_escalations: int = 0
+    interrupted: bool = False
+    cells_resumed: int = 0
+    cells_journaled: int = 0
 
     # ------------------------------------------------------------------
     @property
@@ -157,16 +207,25 @@ class RunTelemetry:
         self.run_seconds += wall
         self.per_run_wall[str(key)] = wall
 
-    def record_retry(self, reason: str, wall: float) -> None:
+    def record_retry(self, reason: str, wall: float, backoff_s: float = 0.0) -> None:
         self.retries += 1
         self.run_seconds += wall
         self.failure_counts[reason] = self.failure_counts.get(reason, 0) + 1
+        if backoff_s > 0:
+            self.backoff_waits += 1
+            self.backoff_total_s += backoff_s
 
-    def record_failure(self, key: Hashable, attempts: int, reason: str, wall: float) -> None:
+    def record_failure(self, key: Hashable, attempts: int, reason: str, wall: float,
+                       bundle: Optional[str] = None) -> None:
         self.runs_failed += 1
         self.run_seconds += wall
         self.failure_counts[reason] = self.failure_counts.get(reason, 0) + 1
-        self.failures.append(RunFailure(key=key, attempts=attempts, reason=reason))
+        self.failures.append(RunFailure(key=key, attempts=attempts, reason=reason, bundle=bundle))
+
+    def record_resumed(self, key: Hashable) -> None:
+        """A cell satisfied from the journal: completed without execution."""
+        self.runs_completed += 1
+        self.cells_resumed += 1
 
     def as_dict(self) -> dict:
         """Plain-builtin view for JSON export (see ``metrics.export``)."""
@@ -185,6 +244,12 @@ class RunTelemetry:
             "per_run_wall": dict(self.per_run_wall),
             "failure_counts": dict(self.failure_counts),
             "failures": [f.as_dict() for f in self.failures],
+            "backoff_waits": self.backoff_waits,
+            "backoff_total_s": self.backoff_total_s,
+            "timeout_escalations": self.timeout_escalations,
+            "interrupted": self.interrupted,
+            "cells_resumed": self.cells_resumed,
+            "cells_journaled": self.cells_journaled,
         }
 
     def summary(self) -> str:
@@ -197,6 +262,12 @@ class RunTelemetry:
         )
         if self.runs_failed or self.retries:
             line += f" | retries {self.retries}, failed {self.runs_failed}"
+        if self.backoff_waits:
+            line += f" | backoff {self.backoff_waits} waits ({self.backoff_total_s:.2f}s)"
+        if self.cells_resumed or self.cells_journaled:
+            line += f" | journal: {self.cells_resumed} resumed, {self.cells_journaled} written"
+        if self.interrupted:
+            line += " | INTERRUPTED (partial results)"
         return line
 
 
@@ -208,13 +279,27 @@ def _worker_entry(out_queue, launch_id: int, scenario_dict: dict, trace_paths: b
 
     Every outcome — success or any exception — is reported through the
     queue; an unreported death is how the parent recognizes a crash.
+    Workers ignore SIGINT: a Ctrl-C in the parent's terminal reaches the
+    whole foreground process group, and shutdown is the parent's job —
+    it drains finished results, then terminates the rest.
     """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread / exotic platform
+        pass
     try:
         scenario = Scenario(**scenario_dict)
         result = run_scenario(scenario, trace_paths=trace_paths)
         out_queue.put((launch_id, "ok", result_to_dict(result, include_scenario=False)))
     except BaseException as exc:  # noqa: BLE001 - the whole point is containment
-        out_queue.put((launch_id, "error", f"{type(exc).__name__}: {exc}"))
+        out_queue.put((
+            launch_id,
+            "error",
+            {
+                "reason": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback_mod.format_exc(),
+            },
+        ))
 
 
 @dataclass
@@ -223,6 +308,7 @@ class _Launch:
     request: RunRequest
     attempt: int
     started: float
+    timeout_s: Optional[float]
 
 
 def _mp_context():
@@ -244,27 +330,63 @@ def execute_runs(
     max_retries: int = 1,
     progress: Optional[ProgressHook] = None,
     telemetry: Optional[RunTelemetry] = None,
+    journal: Optional["RunJournal"] = None,
+    resume: bool = False,
+    backoff_base_s: float = _BACKOFF_BASE_S,
+    backoff_cap_s: float = _BACKOFF_CAP_S,
 ) -> Dict[Hashable, ExperimentResult]:
     """Execute every request, serially or across worker processes.
 
     Returns results keyed by ``request.key``; permanently failed runs are
     *absent* from the mapping and recorded in ``telemetry.failures``.  A run
     is retried ``max_retries`` times after its first failure (crash, raised
-    exception, or ``timeout_s`` exceeded) before being declared failed.
+    exception, or ``timeout_s`` exceeded) before being declared failed; each
+    retry waits a capped, deterministically jittered exponential backoff and
+    runs under a timeout escalated ×1.5 per attempt.
+
+    With ``journal`` attached every settled run is checkpointed atomically
+    (successes as journal entries, permanent failures as replay bundles);
+    ``resume=True`` additionally satisfies already-journaled requests from
+    disk without re-running them.
+
+    A SIGINT/SIGTERM during execution stops cleanly: in-flight completions
+    are drained and journaled, workers are terminated and joined, and the
+    partial result mapping is returned with ``telemetry.interrupted`` set.
     """
     if telemetry is None:
         telemetry = RunTelemetry()
     telemetry.runs_total = len(requests)
     telemetry.workers = max(1, workers)
     started = time.perf_counter()
-    ctx = _mp_context() if workers > 1 else None
-    if ctx is None:
-        telemetry.mode = "serial"
-        telemetry.workers = 1
-        results = _execute_serial(requests, max_retries, progress, telemetry)
+
+    results: Dict[Hashable, ExperimentResult] = {}
+    remaining: List[RunRequest] = []
+    total = len(requests)
+    if journal is not None and resume:
+        for request in requests:
+            cached = journal.lookup(request)
+            if cached is not None:
+                results[request.key] = cached
+                telemetry.record_resumed(request.key)
+                _notify(progress, RunProgress(request.key, "resumed", 0,
+                                              len(results), total, 0.0, cached.events))
+            else:
+                remaining.append(request)
     else:
-        telemetry.mode = "parallel"
-        results = _execute_parallel(requests, workers, timeout_s, max_retries, progress, telemetry, ctx)
+        remaining = list(requests)
+
+    ctx = _mp_context() if workers > 1 else None
+    with _interrupt_on_sigterm():
+        if ctx is None:
+            telemetry.mode = "serial"
+            telemetry.workers = 1
+            _execute_serial(remaining, max_retries, progress, telemetry,
+                            results, total, journal, backoff_base_s, backoff_cap_s)
+        else:
+            telemetry.mode = "parallel"
+            _execute_parallel(remaining, workers, timeout_s, max_retries, progress,
+                              telemetry, ctx, results, total, journal,
+                              backoff_base_s, backoff_cap_s)
     telemetry.wall_seconds = time.perf_counter() - started
     return results
 
@@ -274,65 +396,155 @@ def _notify(progress: Optional[ProgressHook], event: RunProgress) -> None:
         progress(event)
 
 
-def _execute_serial(requests, max_retries, progress, telemetry) -> Dict[Hashable, ExperimentResult]:
-    results: Dict[Hashable, ExperimentResult] = {}
-    total = len(requests)
+class _interrupt_on_sigterm:
+    """Convert SIGTERM to KeyboardInterrupt for the duration of a block.
+
+    Lets one graceful-shutdown path serve both Ctrl-C and a supervisor's
+    TERM.  No-op when not in the main thread (where ``signal.signal`` is
+    unavailable) or on platforms without SIGTERM.
+    """
+
+    def __enter__(self):
+        self._previous = None
+        if threading.current_thread() is threading.main_thread():
+            try:
+                self._previous = signal.signal(signal.SIGTERM, self._raise)
+            except (ValueError, OSError, AttributeError):  # pragma: no cover
+                self._previous = None
+        return self
+
+    def __exit__(self, *exc_info):
+        if self._previous is not None:
+            signal.signal(signal.SIGTERM, self._previous)
+        return False
+
+    @staticmethod
+    def _raise(signum, frame):
+        raise KeyboardInterrupt(f"signal {signum}")
+
+
+def _journal_success(journal, request, result, attempts, telemetry) -> None:
+    if journal is not None:
+        journal.record_success(request, result, attempts=attempts)
+        telemetry.cells_journaled += 1
+
+
+def _journal_failure(journal, request, reason, attempts, traceback_text) -> Optional[str]:
+    if journal is None:
+        return None
+    return str(journal.record_failure(request, reason, attempts, traceback_text))
+
+
+def _execute_serial(requests, max_retries, progress, telemetry, results, total,
+                    journal, backoff_base_s, backoff_cap_s) -> Dict[Hashable, ExperimentResult]:
     for request in requests:
         attempt = 0
+        attempts_log: List[dict] = []
+        interrupted = False
         while True:
             attempt += 1
             run_started = time.perf_counter()
             try:
                 result = run_scenario(request.scenario, trace_paths=request.trace_paths)
+            except KeyboardInterrupt:
+                interrupted = True
+                break
             except Exception as exc:
                 wall = time.perf_counter() - run_started
                 reason = f"{type(exc).__name__}: {exc}"
+                record = {"attempt": attempt, "reason": reason, "wall_s": wall,
+                          "timeout_s": None}
+                attempts_log.append(record)
                 if attempt <= max_retries and _retryable(reason):
-                    telemetry.record_retry(reason, wall)
+                    backoff = _backoff_delay(request.key, attempt, backoff_base_s, backoff_cap_s)
+                    record["backoff_s"] = backoff
+                    telemetry.record_retry(reason, wall, backoff)
                     _notify(progress, RunProgress(request.key, "retry", attempt,
                                                   len(results), total, wall, 0))
+                    try:
+                        time.sleep(backoff)
+                    except KeyboardInterrupt:
+                        interrupted = True
+                        break
                     continue
-                telemetry.record_failure(request.key, attempt, reason, wall)
+                bundle = _journal_failure(journal, request, reason, attempts_log,
+                                          traceback_mod.format_exc())
+                telemetry.record_failure(request.key, attempt, reason, wall, bundle)
                 _notify(progress, RunProgress(request.key, "failed", attempt,
                                               len(results), total, wall, 0))
                 break
             wall = time.perf_counter() - run_started
             results[request.key] = result
             telemetry.record_success(request.key, wall, result.events)
+            _journal_success(journal, request, result, attempts_log, telemetry)
             _notify(progress, RunProgress(request.key, "ok", attempt,
                                           len(results), total, wall, result.events))
+            break
+        if interrupted:
+            telemetry.interrupted = True
             break
     return results
 
 
-def _execute_parallel(requests, workers, timeout_s, max_retries, progress, telemetry, ctx):
+@dataclass
+class _Pending:
+    request: RunRequest
+    attempt: int
+    ready_at: float  # perf_counter timestamp the retry backoff expires
+    timeout_s: Optional[float]
+
+
+def _execute_parallel(requests, workers, timeout_s, max_retries, progress, telemetry,
+                      ctx, results, total, journal, backoff_base_s, backoff_cap_s):
     out_queue = ctx.Queue()
-    pending: deque = deque((request, 1) for request in requests)
+    pending: deque = deque(_Pending(request, 1, 0.0, timeout_s) for request in requests)
     running: Dict[int, _Launch] = {}
-    results: Dict[Hashable, ExperimentResult] = {}
-    total = len(requests)
+    attempts_log: Dict[Hashable, List[dict]] = {}
     next_launch_id = 0
 
-    def launch(request: RunRequest, attempt: int) -> None:
+    def launch(item: _Pending) -> None:
         nonlocal next_launch_id
         launch_id = next_launch_id
         next_launch_id += 1
         proc = ctx.Process(
             target=_worker_entry,
-            args=(out_queue, launch_id, asdict(request.scenario), request.trace_paths),
+            args=(out_queue, launch_id, asdict(item.request.scenario), item.request.trace_paths),
             daemon=True,
         )
         proc.start()
-        running[launch_id] = _Launch(proc, request, attempt, time.perf_counter())
+        running[launch_id] = _Launch(proc, item.request, item.attempt,
+                                     time.perf_counter(), item.timeout_s)
 
-    def settle_failure(entry: _Launch, reason: str, wall: float) -> None:
+    def pop_ready(now: float) -> Optional[_Pending]:
+        """First pending item whose backoff has expired (stable order)."""
+        for index, item in enumerate(pending):
+            if item.ready_at <= now:
+                del pending[index]
+                return item
+        return None
+
+    def settle_failure(entry: _Launch, reason: str, wall: float,
+                       traceback_text: Optional[str] = None) -> None:
+        log = attempts_log.setdefault(entry.request.key, [])
+        record = {"attempt": entry.attempt, "reason": reason, "wall_s": wall,
+                  "timeout_s": entry.timeout_s}
+        log.append(record)
         if entry.attempt <= max_retries and _retryable(reason):
-            telemetry.record_retry(reason, wall)
+            backoff = _backoff_delay(entry.request.key, entry.attempt,
+                                     backoff_base_s, backoff_cap_s)
+            record["backoff_s"] = backoff
+            next_timeout = entry.timeout_s
+            if next_timeout is not None:
+                next_timeout *= _TIMEOUT_ESCALATION
+                telemetry.timeout_escalations += 1
+            telemetry.record_retry(reason, wall, backoff)
             _notify(progress, RunProgress(entry.request.key, "retry", entry.attempt,
                                           len(results), total, wall, 0))
-            pending.append((entry.request, entry.attempt + 1))
+            pending.append(_Pending(entry.request, entry.attempt + 1,
+                                    time.perf_counter() + backoff, next_timeout))
         else:
-            telemetry.record_failure(entry.request.key, entry.attempt, reason, wall)
+            bundle = _journal_failure(journal, entry.request, reason, log, traceback_text)
+            telemetry.record_failure(entry.request.key, entry.attempt, reason, wall, bundle)
             _notify(progress, RunProgress(entry.request.key, "failed", entry.attempt,
                                           len(results), total, wall, 0))
 
@@ -347,10 +559,14 @@ def _execute_parallel(requests, workers, timeout_s, max_retries, progress, telem
             result = result_from_dict(payload, scenario=entry.request.scenario)
             results[entry.request.key] = result
             telemetry.record_success(entry.request.key, wall, result.events)
+            _journal_success(journal, entry.request, result,
+                             attempts_log.get(entry.request.key, []), telemetry)
             _notify(progress, RunProgress(entry.request.key, "ok", entry.attempt,
                                           len(results), total, wall, result.events))
         else:
-            settle_failure(entry, payload, wall)
+            reason = payload["reason"] if isinstance(payload, dict) else str(payload)
+            tb = payload.get("traceback") if isinstance(payload, dict) else None
+            settle_failure(entry, reason, wall, tb)
 
     def drain(block_s: float = 0.0) -> None:
         deadline = time.perf_counter() + block_s
@@ -362,36 +578,57 @@ def _execute_parallel(requests, workers, timeout_s, max_retries, progress, telem
                     return
                 time.sleep(0.01)
 
-    while pending or running:
-        while pending and len(running) < workers:
-            request, attempt = pending.popleft()
-            launch(request, attempt)
-        try:
-            handle_message(out_queue.get(timeout=_POLL_S))
-        except queue_mod.Empty:
-            pass
-        drain()
-        now = time.perf_counter()
-        for launch_id in list(running):
-            entry = running.get(launch_id)
-            if entry is None:
-                continue
-            if timeout_s is not None and now - entry.started > timeout_s:
-                entry.proc.terminate()
-                entry.proc.join()
-                running.pop(launch_id, None)
-                settle_failure(entry, f"timeout after {timeout_s:g}s", now - entry.started)
-            elif not entry.proc.is_alive():
-                # The worker exited; its message may still be buffered in the
-                # queue's feeder pipe, so give it a moment to surface before
-                # declaring an unreported death (i.e. a crash).
-                drain(block_s=_CRASH_DRAIN_S)
-                if launch_id in running:
+    try:
+        while pending or running:
+            now = time.perf_counter()
+            while len(running) < workers:
+                item = pop_ready(now)
+                if item is None:
+                    break
+                launch(item)
+            try:
+                handle_message(out_queue.get(timeout=_POLL_S))
+            except queue_mod.Empty:
+                pass
+            drain()
+            now = time.perf_counter()
+            for launch_id in list(running):
+                entry = running.get(launch_id)
+                if entry is None:
+                    continue
+                if entry.timeout_s is not None and now - entry.started > entry.timeout_s:
+                    entry.proc.terminate()
                     entry.proc.join()
                     running.pop(launch_id, None)
-                    settle_failure(entry, f"worker crashed (exit code {entry.proc.exitcode})",
-                                   time.perf_counter() - entry.started)
-    out_queue.close()
+                    settle_failure(entry, f"timeout after {entry.timeout_s:g}s",
+                                   now - entry.started)
+                elif not entry.proc.is_alive():
+                    # The worker exited; its message may still be buffered in the
+                    # queue's feeder pipe, so give it a moment to surface before
+                    # declaring an unreported death (i.e. a crash).
+                    drain(block_s=_CRASH_DRAIN_S)
+                    if launch_id in running:
+                        entry.proc.join()
+                        running.pop(launch_id, None)
+                        settle_failure(entry, f"worker crashed (exit code {entry.proc.exitcode})",
+                                       time.perf_counter() - entry.started)
+    except KeyboardInterrupt:
+        # Graceful shutdown: collect whatever already finished (journaling
+        # it as usual), then terminate the stragglers below.  The partial
+        # results are returned to the caller; exit-code policy is theirs.
+        telemetry.interrupted = True
+        try:
+            drain(block_s=_CRASH_DRAIN_S)
+        except (KeyboardInterrupt, Exception):  # noqa: BLE001 - already shutting down
+            pass
+    finally:
+        for entry in list(running.values()):
+            if entry.proc.is_alive():
+                entry.proc.terminate()
+        for entry in list(running.values()):
+            entry.proc.join(timeout=5)
+        running.clear()
+        out_queue.close()
     return results
 
 
@@ -407,6 +644,8 @@ def run_grid(
     trace_paths: bool = False,
     progress: Optional[ProgressHook] = None,
     telemetry: Optional[RunTelemetry] = None,
+    journal: Optional["RunJournal"] = None,
+    resume: bool = False,
 ) -> Dict[Hashable, ExperimentResult]:
     """Run every (cell, seed) combination and pool seeds per cell.
 
@@ -416,6 +655,11 @@ def run_grid(
     identical to calling the serial ``run_pooled`` per cell.  Cells whose
     every seed failed are absent from the returned mapping (see
     ``telemetry.failures``).
+
+    With ``journal``/``resume``, per-(cell, seed) results are checkpointed
+    and reloaded before the merge — the merge itself always runs over the
+    full seed-ordered set, so a resumed grid is bit-identical to an
+    uninterrupted one.
     """
     if not seeds:
         raise ValueError("need at least one seed")
@@ -435,6 +679,8 @@ def run_grid(
         max_retries=max_retries,
         progress=progress,
         telemetry=telemetry,
+        journal=journal,
+        resume=resume,
     )
     merged: Dict[Hashable, ExperimentResult] = {}
     for cell_key, scenario in cells.items():
@@ -453,6 +699,8 @@ def pooled_parallel(
     trace_paths: bool = False,
     progress: Optional[ProgressHook] = None,
     telemetry: Optional[RunTelemetry] = None,
+    journal: Optional["RunJournal"] = None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Parallel counterpart of ``run_pooled`` for one scenario's seeds.
 
@@ -470,8 +718,14 @@ def pooled_parallel(
         trace_paths=trace_paths,
         progress=progress,
         telemetry=telemetry,
+        journal=journal,
+        resume=resume,
     )
     if "pooled" not in grid:
+        if telemetry.interrupted:
+            raise RuntimeError(
+                f"interrupted before any seed of {scenario.name!r} completed"
+            )
         reasons = "; ".join(f.reason for f in telemetry.failures) or "unknown"
         raise RuntimeError(f"every seed run failed for {scenario.name!r}: {reasons}")
     return grid["pooled"]

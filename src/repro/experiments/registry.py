@@ -83,7 +83,8 @@ ARTIFACTS: tuple[Artifact, ...] = (
     Artifact("host stack", "SACK/delack variants vs the paper's no-fast-rtx choice",
              "bench_ablation_host_stack", ("repro.transport.tcp",)),
     Artifact("robustness (faults)", "DIBS degrades gracefully as failed core links shrink the detour fabric",
-             "bench_fault_resilience", ("repro.faults",)),
+             "bench_fault_resilience",
+             ("repro.faults", "repro.experiments.journal", "repro.experiments.parallel")),
 )
 
 

@@ -274,6 +274,8 @@ def run_pooled(
     run_timeout_s: Optional[float] = None,
     max_retries: int = 1,
     telemetry=None,
+    journal=None,
+    resume: bool = False,
 ) -> ExperimentResult:
     """Run the scenario once per seed and pool the samples.
 
@@ -288,11 +290,14 @@ def run_pooled(
     Passing a :class:`~repro.experiments.parallel.RunTelemetry` routes even
     the ``workers == 1`` case through the failure-containing executor:
     per-seed failures (including watchdog/invariant aborts) are recorded
-    in the telemetry and only pool-wide failure raises.
+    in the telemetry and only pool-wide failure raises.  The same applies
+    to ``journal`` (a :class:`~repro.experiments.journal.RunJournal`):
+    per-seed results are checkpointed, and ``resume=True`` reloads
+    journaled seeds instead of re-running them.
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    if workers > 1 or telemetry is not None:
+    if workers > 1 or telemetry is not None or journal is not None:
         from repro.experiments.parallel import pooled_parallel
 
         return pooled_parallel(
@@ -303,6 +308,8 @@ def run_pooled(
             max_retries=max_retries,
             trace_paths=trace_paths,
             telemetry=telemetry,
+            journal=journal,
+            resume=resume,
         )
     results = [
         run_scenario(scenario.with_overrides(seed=seed), trace_paths=trace_paths)

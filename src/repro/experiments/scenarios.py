@@ -34,6 +34,7 @@ from typing import Optional, Union
 from repro.core.config import DibsConfig
 from repro.core.detour import make_policy
 from repro.net.network import Network, SwitchQueueConfig
+from repro.sim.engine import Scheduler
 from repro.topo import click_testbed, fat_tree, jellyfish, leaf_spine, linear
 from repro.transport.base import TcpConfig
 from repro.transport.pfabric import PFabricConfig
@@ -111,6 +112,10 @@ class Scenario:
     corrupt_rate: float = 0.0  # corruption events per second, network-wide
     watchdog: bool = True
     invariant_check_interval_s: float = 0.0  # 0 = end-of-run audit only
+    # Event-queue pressure guard (repro.sim.engine): a run whose pending
+    # calendar exceeds this aborts with a diagnostic ResourceError instead
+    # of growing until the OOM killer takes the worker.  0 disables.
+    max_pending_events: int = 5_000_000
 
     # ------------------------------------------------------------------
     def with_overrides(self, **kwargs) -> "Scenario":
@@ -127,6 +132,8 @@ class Scenario:
             raise ValueError("link flap downtime must be positive")
         if self.invariant_check_interval_s < 0:
             raise ValueError("invariant check interval cannot be negative")
+        if self.max_pending_events < 0:
+            raise ValueError("max pending events cannot be negative (0 disables the guard)")
         if self.faults:
             # Parse eagerly so malformed rows fail at configuration time,
             # not halfway into a sweep.
@@ -231,6 +238,7 @@ class Scenario:
             dibs=self.dibs_config(),
             seed=self.seed,
             trace_paths=trace_paths,
+            scheduler=Scheduler(max_pending_events=self.max_pending_events),
         )
 
 

@@ -53,6 +53,8 @@ def sweep(
     max_retries: int = 1,
     progress: Optional[ProgressHook] = None,
     telemetry: Optional[RunTelemetry] = None,
+    journal=None,
+    resume: bool = False,
 ) -> dict[tuple[object, str], ExperimentResult]:
     """Run ``base`` once per (value, scheme, seed) combination, pooling
     seeds into one result per (value, scheme).
@@ -64,8 +66,14 @@ def sweep(
     ``workers > 1`` the (value, scheme, seed) runs fan out across worker
     processes — pooled results are identical to the serial run for the same
     seeds — and a run that crashes or exceeds ``run_timeout_s`` is retried
-    ``max_retries`` times, then recorded in ``telemetry`` (its cell is
-    pooled from the surviving seeds, or omitted if none survive).
+    ``max_retries`` times (with jittered exponential backoff and escalating
+    timeouts), then recorded in ``telemetry`` (its cell is pooled from the
+    surviving seeds, or omitted if none survive).
+
+    ``journal`` (a :class:`~repro.experiments.journal.RunJournal`)
+    checkpoints every completed (value, scheme, seed) run; ``resume=True``
+    reloads journaled runs so an interrupted sweep picks up where it left
+    off and produces bit-identical pooled results.
     """
     if not hasattr(base, parameter):
         raise ValueError(f"scenario has no parameter {parameter!r}")
@@ -85,6 +93,8 @@ def sweep(
         max_retries=max_retries,
         progress=progress,
         telemetry=telemetry,
+        journal=journal,
+        resume=resume,
     )
 
 

@@ -122,8 +122,15 @@ def export_result_json(result: "ExperimentResult", path: PathLike) -> Path:
 
 
 def export_telemetry_json(telemetry: "RunTelemetry", path: PathLike) -> Path:
-    """Serialize sweep-execution telemetry (runs completed, events/sec,
-    per-run wall time, retry/failure counts) from the parallel executor."""
+    """Serialize sweep-execution telemetry from the parallel executor.
+
+    The payload covers throughput (runs completed, events/sec, per-run wall
+    time, speedup), failure containment (retry and per-reason failure
+    counts, replay-bundle paths), graceful-degradation accounting (backoff
+    waits and total backoff seconds, timeout escalations, whether the sweep
+    was interrupted), and journal activity (cells resumed from / written to
+    a ``--journal-dir``) — everything ``RunTelemetry.as_dict`` carries.
+    """
     out = Path(path)
     out.write_text(json.dumps(telemetry.as_dict(), indent=2, default=str))
     return out

@@ -18,11 +18,40 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Optional
 
-__all__ = ["Event", "Scheduler", "SimulationError", "LivelockError"]
+__all__ = [
+    "Event",
+    "Scheduler",
+    "SimulationError",
+    "LivelockError",
+    "ResourceError",
+    "DEFAULT_MAX_PENDING_EVENTS",
+]
+
+# Upper bound on the pending-event calendar before a run is declared
+# runaway.  Five million heap entries is roughly half a gigabyte of Event
+# objects — far beyond anything a healthy scenario schedules (the biggest
+# full-scale sweeps stay under a few hundred thousand pending events), but
+# comfortably below the point where the OOM killer takes out the worker
+# process without leaving a diagnostic behind.
+DEFAULT_MAX_PENDING_EVENTS = 5_000_000
 
 
 class SimulationError(RuntimeError):
     """Raised on scheduler misuse (e.g. scheduling into the past)."""
+
+
+class ResourceError(SimulationError):
+    """The simulation exceeded a resource budget (event-queue pressure).
+
+    Raised by :meth:`Scheduler.schedule_at` when the pending-event heap
+    grows past ``max_pending_events``.  A run that schedules events faster
+    than it can consume them (a feedback loop amplifying packets, a
+    workload generator stuck re-arming itself) would otherwise grow the
+    heap until the kernel OOM-kills the worker — losing the traceback and
+    surfacing as an inscrutable crash.  Aborting deterministically keeps
+    the failure inside the run, where the experiment executor can record
+    it (and, with a journal attached, write a replay bundle).
+    """
 
 
 class LivelockError(SimulationError):
@@ -78,14 +107,16 @@ class Scheduler:
     """
 
     __slots__ = ("now", "_heap", "_seq", "_events_processed", "_running",
-                 "watchdog", "watchdog_interval_events")
+                 "watchdog", "watchdog_interval_events", "max_pending_events")
 
-    def __init__(self) -> None:
+    def __init__(self, max_pending_events: Optional[int] = DEFAULT_MAX_PENDING_EVENTS) -> None:
         self.now: float = 0.0
         self._heap: list[Event] = []
         self._seq: int = 0
         self._events_processed: int = 0
         self._running: bool = False
+        # Event-queue pressure guard: ``None`` (or 0) disables it.
+        self.max_pending_events: Optional[int] = max_pending_events or None
         # Optional progress guard: ``watchdog(self)`` is invoked from the
         # run loop every ``watchdog_interval_events`` processed events.  It
         # must run *inside* the loop (not as a scheduled event) because a
@@ -107,6 +138,13 @@ class Scheduler:
         """Schedule ``fn(*args)`` at absolute simulated ``time``."""
         if time < self.now:
             raise SimulationError(f"cannot schedule into the past: {time} < {self.now}")
+        if self.max_pending_events is not None and len(self._heap) >= self.max_pending_events:
+            raise ResourceError(
+                f"event queue exceeded {self.max_pending_events} pending events at "
+                f"t={self.now:.9f}s ({self._events_processed} processed) while scheduling "
+                f"{getattr(fn, '__qualname__', fn)} for t={time:.9f}s — runaway scheduling "
+                f"loop aborted before the process runs out of memory"
+            )
         ev = Event(time, self._seq, fn, args)
         self._seq += 1
         heapq.heappush(self._heap, ev)
