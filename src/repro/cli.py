@@ -5,18 +5,31 @@ Commands
 ``run``      one scenario (any scheme), print the headline metrics
 ``sweep``    sweep one Scenario parameter across values and schemes
 ``replay``   re-execute a failure replay bundle from a journal
+``trace``    summarize (or filter) a structured JSONL trace file
 ``schemes``  list available schemes and the Table 1/2 defaults
 ``topo``     describe a topology (sizes, degrees, diameter)
 
 Examples::
 
     python -m repro run --scheme dibs --qps 125 --seeds 0,1,2
+    python -m repro run --scheme dibs --profile --trace-file run.trace.jsonl
+    python -m repro trace run.trace.jsonl
     python -m repro sweep --param buffer_pkts --values 5,10,25,50 \
         --schemes dctcp,dibs
     python -m repro sweep --param qps --values 40,125,250 --seeds 0,1,2 \
         --workers 4 --run-timeout 300 --journal-dir runs/qps --resume
     python -m repro replay runs/qps/failures/<hash>.bundle.json
     python -m repro topo --topology fattree --k 8
+
+Observability flags (repro.obs) on ``run``/``sweep``: ``--profile``
+buckets scheduler wall time per callback category; ``--heartbeat S``
+emits progress JSONL every S wall seconds (``--heartbeat-path`` to a
+file, default stderr); ``--trace-file F`` records detours, drops, path
+and occupancy events as versioned JSONL readable by ``repro trace``.
+None of these perturbs the event calendar: metrics are bit-identical
+with instrumentation on or off.  ``run --out-dir DIR`` writes the full
+artifact bundle (CSVs, JSON, profile, trace) via
+repro.metrics.export.write_artifacts.
 
 ``--workers N`` fans the (value x scheme x seed) grid out over N worker
 processes (results identical to serial; see repro.experiments.parallel).
@@ -68,6 +81,7 @@ _NUMERIC_FIELDS = {
     "corrupt_rate": float,
     "invariant_check_interval_s": float,
     "max_pending_events": int,
+    "trace_occupancy_interval_s": float,
 }
 
 
@@ -81,6 +95,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="run one scenario")
     _add_scenario_args(run_p)
     run_p.add_argument("--seeds", default="0", help="comma-separated seeds to pool (default: 0)")
+    run_p.add_argument("--out-dir", default=None, dest="out_dir", metavar="DIR",
+                       help="write the full artifact bundle (flows/queries CSVs, "
+                            "result + telemetry JSON, profile, trace) into DIR")
     _add_parallel_args(run_p)
 
     sweep_p = sub.add_parser("sweep", help="sweep a scenario parameter")
@@ -90,6 +107,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--schemes", default="dctcp,dibs", help="comma-separated schemes")
     sweep_p.add_argument("--seeds", default="0", help="comma-separated seeds to pool")
     _add_parallel_args(sweep_p)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="summarize or filter a structured JSONL trace written by --trace-file",
+    )
+    trace_p.add_argument("file", help="path to a .trace.jsonl file")
+    trace_p.add_argument("--type", default=None, dest="record_type",
+                         choices=["meta", "detour", "drop", "occupancy", "path", "counters"],
+                         help="print matching records as JSONL instead of the summary")
+    trace_p.add_argument("--limit", type=int, default=None,
+                         help="stop after N records (with --type)")
 
     replay_p = sub.add_parser(
         "replay",
@@ -124,6 +152,22 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
                              "applied to every run")
     parser.add_argument("--no-watchdog", action="store_true",
                         help="disable the livelock watchdog (on by default)")
+    # Observability (repro.obs).  None of these changes simulated behaviour.
+    parser.add_argument("--profile", action="store_true",
+                        help="profile scheduler wall time per callback category "
+                             "and print the breakdown after the run")
+    parser.add_argument("--heartbeat", type=float, default=None, metavar="SECONDS",
+                        dest="heartbeat_interval_s",
+                        help="emit a progress heartbeat (JSONL) every SECONDS of "
+                             "wall time while simulating")
+    parser.add_argument("--heartbeat-path", default=None, dest="heartbeat_path",
+                        metavar="FILE",
+                        help="append heartbeat records to FILE instead of stderr "
+                             "('{seed}' expands per seed)")
+    parser.add_argument("--trace-file", default=None, dest="trace_file", metavar="FILE",
+                        help="record a structured JSONL event trace to FILE "
+                             "('{seed}' expands per seed); inspect with "
+                             "'repro trace FILE'")
 
 
 def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
@@ -164,6 +208,14 @@ def _scenario_from_args(args: argparse.Namespace) -> Scenario:
         overrides["faults"] = load_fault_spec(args.faults)
     if getattr(args, "no_watchdog", False):
         overrides["watchdog"] = False
+    if getattr(args, "profile", False):
+        overrides["profile"] = True
+    if getattr(args, "heartbeat_interval_s", None) is not None:
+        overrides["heartbeat_interval_s"] = args.heartbeat_interval_s
+    if getattr(args, "heartbeat_path", None) is not None:
+        overrides["heartbeat_path"] = args.heartbeat_path
+    if getattr(args, "trace_file", None) is not None:
+        overrides["trace_file"] = args.trace_file
     return base.with_overrides(**overrides)
 
 
@@ -223,6 +275,17 @@ def _cmd_run(args: argparse.Namespace) -> tuple[str, int]:
     if result.faults_applied:
         rows[0]["faults"] = sum(result.faults_applied.values())
     text = format_table(rows, title=f"scheme={scenario.scheme} (seeds={args.seeds})")
+    if result.profile:
+        from repro.obs.profiler import format_profile
+
+        text += "\n\n" + format_profile(result.profile)
+    if getattr(args, "out_dir", None):
+        from repro.metrics.export import write_artifacts
+
+        written = write_artifacts(result, args.out_dir, telemetry=telemetry,
+                                  trace_file=scenario.trace_file)
+        names = ", ".join(sorted(path.name for path in written.values()))
+        text += f"\n\nartifacts -> {args.out_dir}: {names}"
     if telemetry.runs_failed or telemetry.interrupted or telemetry.cells_resumed:
         text += "\n\n" + telemetry.summary()
     return text, _exit_code(telemetry)
@@ -287,6 +350,27 @@ def _cmd_replay(args: argparse.Namespace) -> tuple[str, int]:
     return "\n".join(lines), 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> tuple[str, int]:
+    """Summarize a structured trace, or dump records of one type."""
+    import json
+
+    from repro.obs.trace import format_trace_summary, read_trace, summarize_trace
+
+    try:
+        if args.record_type:
+            lines = []
+            for record in read_trace(args.file, kind=args.record_type):
+                lines.append(json.dumps(record, sort_keys=True))
+                if args.limit is not None and len(lines) >= args.limit:
+                    break
+            return "\n".join(lines) if lines else f"(no {args.record_type} records)", 0
+        return format_trace_summary(summarize_trace(args.file)), 0
+    except FileNotFoundError:
+        return f"error: no such trace file: {args.file}", 1
+    except ValueError as exc:
+        return f"error: invalid trace: {exc}", 1
+
+
 def _cmd_schemes() -> str:
     rows = [{"scheme": s} for s in SCHEMES]
     defaults = [
@@ -321,6 +405,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(text)
     elif args.command == "replay":
         text, code = _cmd_replay(args)
+        print(text)
+    elif args.command == "trace":
+        text, code = _cmd_trace(args)
         print(text)
     elif args.command == "schemes":
         print(_cmd_schemes())

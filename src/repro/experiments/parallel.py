@@ -59,6 +59,7 @@ from repro.sim.rng import stable_hash
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.experiments.journal import RunJournal
+    from repro.obs.heartbeat import ExecutorHeartbeat
 
 __all__ = [
     "RunRequest",
@@ -334,8 +335,14 @@ def execute_runs(
     resume: bool = False,
     backoff_base_s: float = _BACKOFF_BASE_S,
     backoff_cap_s: float = _BACKOFF_CAP_S,
+    heartbeat: Optional["ExecutorHeartbeat"] = None,
 ) -> Dict[Hashable, ExperimentResult]:
     """Execute every request, serially or across worker processes.
+
+    ``heartbeat`` (an :class:`repro.obs.heartbeat.ExecutorHeartbeat`)
+    emits periodic JSONL progress records — completed/total counts and the
+    per-worker in-flight table — from the executor's poll loop, making a
+    long ``--workers N`` sweep legible while it runs.
 
     Returns results keyed by ``request.key``; permanently failed runs are
     *absent* from the mapping and recorded in ``telemetry.failures``.  A run
@@ -381,12 +388,13 @@ def execute_runs(
             telemetry.mode = "serial"
             telemetry.workers = 1
             _execute_serial(remaining, max_retries, progress, telemetry,
-                            results, total, journal, backoff_base_s, backoff_cap_s)
+                            results, total, journal, backoff_base_s, backoff_cap_s,
+                            heartbeat)
         else:
             telemetry.mode = "parallel"
             _execute_parallel(remaining, workers, timeout_s, max_retries, progress,
                               telemetry, ctx, results, total, journal,
-                              backoff_base_s, backoff_cap_s)
+                              backoff_base_s, backoff_cap_s, heartbeat)
     telemetry.wall_seconds = time.perf_counter() - started
     return results
 
@@ -436,8 +444,14 @@ def _journal_failure(journal, request, reason, attempts, traceback_text) -> Opti
 
 
 def _execute_serial(requests, max_retries, progress, telemetry, results, total,
-                    journal, backoff_base_s, backoff_cap_s) -> Dict[Hashable, ExperimentResult]:
+                    journal, backoff_base_s, backoff_cap_s,
+                    heartbeat=None) -> Dict[Hashable, ExperimentResult]:
     for request in requests:
+        if heartbeat is not None:
+            heartbeat.maybe_emit(
+                completed=len(results), total=total,
+                running=[{"key": str(request.key), "attempt": 1, "wall_s": 0.0}],
+            )
         attempt = 0
         attempts_log: List[dict] = []
         interrupted = False
@@ -495,7 +509,8 @@ class _Pending:
 
 
 def _execute_parallel(requests, workers, timeout_s, max_retries, progress, telemetry,
-                      ctx, results, total, journal, backoff_base_s, backoff_cap_s):
+                      ctx, results, total, journal, backoff_base_s, backoff_cap_s,
+                      heartbeat=None):
     out_queue = ctx.Queue()
     pending: deque = deque(_Pending(request, 1, 0.0, timeout_s) for request in requests)
     running: Dict[int, _Launch] = {}
@@ -592,6 +607,16 @@ def _execute_parallel(requests, workers, timeout_s, max_retries, progress, telem
                 pass
             drain()
             now = time.perf_counter()
+            if heartbeat is not None:
+                heartbeat.maybe_emit(
+                    completed=len(results), total=total,
+                    running=[
+                        {"key": str(entry.request.key), "attempt": entry.attempt,
+                         "wall_s": round(now - entry.started, 2)}
+                        for entry in running.values()
+                    ],
+                    pending=len(pending),
+                )
             for launch_id in list(running):
                 entry = running.get(launch_id)
                 if entry is None:
@@ -646,6 +671,7 @@ def run_grid(
     telemetry: Optional[RunTelemetry] = None,
     journal: Optional["RunJournal"] = None,
     resume: bool = False,
+    heartbeat: Optional["ExecutorHeartbeat"] = None,
 ) -> Dict[Hashable, ExperimentResult]:
     """Run every (cell, seed) combination and pool seeds per cell.
 
@@ -681,6 +707,7 @@ def run_grid(
         telemetry=telemetry,
         journal=journal,
         resume=resume,
+        heartbeat=heartbeat,
     )
     merged: Dict[Hashable, ExperimentResult] = {}
     for cell_key, scenario in cells.items():
@@ -701,6 +728,7 @@ def pooled_parallel(
     telemetry: Optional[RunTelemetry] = None,
     journal: Optional["RunJournal"] = None,
     resume: bool = False,
+    heartbeat: Optional["ExecutorHeartbeat"] = None,
 ) -> ExperimentResult:
     """Parallel counterpart of ``run_pooled`` for one scenario's seeds.
 
@@ -720,6 +748,7 @@ def pooled_parallel(
         telemetry=telemetry,
         journal=journal,
         resume=resume,
+        heartbeat=heartbeat,
     )
     if "pooled" not in grid:
         if telemetry.interrupted:

@@ -51,6 +51,13 @@ class ExperimentResult:
     faults_applied: dict[str, int] = field(default_factory=dict)
     fault_packets_killed: int = 0
     invariant_checks: int = 0
+    # Observability (repro.obs): the per-category scheduler profile payload
+    # (None unless scenario.profile), and the run's live MetricsCollector.
+    # The collector is a convenience handle for exporters — it never
+    # crosses a process boundary (result_to_dict drops it) and is absent
+    # from merged results.
+    profile: Optional[dict] = None
+    collector: Optional[object] = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     @property
@@ -101,6 +108,15 @@ class ExperimentResult:
         }
 
 
+def _expand_seed(path: Optional[str], seed: int) -> Optional[str]:
+    """Expand the ``{seed}`` placeholder in an output path, so per-seed
+    runs of one scenario (serial or across workers) don't clobber each
+    other's heartbeat/trace files."""
+    if path is None:
+        return None
+    return path.replace("{seed}", str(seed))
+
+
 def run_scenario(scenario: Scenario, trace_paths: bool = False) -> ExperimentResult:
     """Build the network, attach workloads, run to drain, return metrics.
 
@@ -112,6 +128,36 @@ def run_scenario(scenario: Scenario, trace_paths: bool = False) -> ExperimentRes
     started = time.perf_counter()
     network = scenario.build_network(trace_paths=trace_paths)
     transport = scenario.transport_config()
+
+    # Observability attachments (repro.obs).  All ride run-loop hooks or
+    # chained callbacks — none schedules simulator events, so metrics stay
+    # bit-identical with instrumentation on or off.
+    profiler = None
+    if scenario.profile:
+        from repro.obs.profiler import SchedulerProfiler
+
+        profiler = SchedulerProfiler().install(network.scheduler)
+    heartbeat = None
+    if scenario.heartbeat_interval_s > 0:
+        from repro.obs.heartbeat import HeartbeatWriter, SimHeartbeat
+
+        hb_path = _expand_seed(scenario.heartbeat_path, scenario.seed)
+        heartbeat = SimHeartbeat(
+            HeartbeatWriter(hb_path),
+            scenario.heartbeat_interval_s,
+            label=scenario.name,
+            seed=scenario.seed,
+        ).install(network.scheduler)
+    tracer = None
+    if scenario.trace_file:
+        from repro.obs.trace import TraceWriter
+
+        tracer = TraceWriter(
+            _expand_seed(scenario.trace_file, scenario.seed),
+            occupancy_interval_s=scenario.trace_occupancy_interval_s,
+            label=scenario.name,
+            seed=scenario.seed,
+        ).attach(network)
 
     injector = install_faults(network, scenario)
     if scenario.watchdog:
@@ -149,7 +195,16 @@ def run_scenario(scenario: Scenario, trace_paths: bool = False) -> ExperimentRes
         )
         query.start()
 
-    network.run(until=scenario.duration_s + scenario.drain_s)
+    try:
+        network.run(until=scenario.duration_s + scenario.drain_s)
+    finally:
+        # Flush instrumentation even when a guard aborts the run: a partial
+        # trace/heartbeat tail is exactly what a failure post-mortem needs.
+        if heartbeat is not None:
+            heartbeat.finish()
+            heartbeat.writer.close()
+        if tracer is not None:
+            tracer.close()
     if checker is not None:
         # Final sweep at quiescence, so a violation in the last partial
         # interval cannot slip through.
@@ -168,13 +223,17 @@ def run_scenario(scenario: Scenario, trace_paths: bool = False) -> ExperimentRes
     result.bg_flows_started = background.flows_started if background else 0
     result.flows_total = len(collector.flows)
     result.flows_completed = sum(1 for f in collector.flows if f.completed)
-    result.drops = network.drop_report()
-    result.detours = network.total_detours()
-    result.ecn_marks = network.total_ecn_marks()
+    snapshot = network.counters()
+    result.drops = snapshot.drop_report()
+    result.detours = snapshot.total_detours()
+    result.ecn_marks = snapshot.total_ecn_marks()
     result.timeouts = sum(f.timeouts for f in collector.flows)
     result.retransmits = sum(f.retransmits for f in collector.flows)
     result.events = network.scheduler.events_processed
     result.wall_seconds = time.perf_counter() - started
+    result.collector = collector
+    if profiler is not None:
+        result.profile = profiler.as_dict()
     if injector is not None:
         result.faults_applied = dict(injector.applied)
         result.fault_packets_killed = injector.packets_killed
@@ -228,6 +287,22 @@ def merge_results(scenario: Scenario, results: Sequence[ExperimentResult]) -> Ex
             merged.faults_applied[key] = merged.faults_applied.get(key, 0) + value
         for name in _SUM_FIELDS:
             setattr(merged, name, getattr(merged, name) + getattr(result, name))
+    from repro.obs.profiler import merge_profiles
+
+    merged.profile = merge_profiles(result.profile for result in results)
+    if all(result.collector is not None for result in results):
+        # Serial pools keep their live collectors; expose one pooled view so
+        # exporters (write_artifacts) can dump per-flow/per-query records
+        # for the merged result too.  Results that crossed a process
+        # boundary arrive collector-less and the merged view stays None.
+        from repro.metrics.collector import MetricsCollector
+
+        pooled = MetricsCollector()
+        for result in results:
+            pooled.flows.extend(result.collector.flows)
+            pooled.queries.extend(result.collector.queries)
+            pooled.fault_events.extend(result.collector.fault_events)
+        merged.collector = pooled
     return merged
 
 
@@ -240,7 +315,8 @@ def result_to_dict(result: ExperimentResult, include_scenario: bool = True) -> d
     payload = {
         f.name: getattr(result, f.name)
         for f in fields(ExperimentResult)
-        if f.name != "scenario"
+        # The collector holds live simulation objects; it stays behind.
+        if f.name not in ("scenario", "collector")
     }
     payload["drops"] = dict(result.drops)
     payload["faults_applied"] = dict(result.faults_applied)
@@ -276,6 +352,7 @@ def run_pooled(
     telemetry=None,
     journal=None,
     resume: bool = False,
+    heartbeat=None,
 ) -> ExperimentResult:
     """Run the scenario once per seed and pool the samples.
 
@@ -294,10 +371,13 @@ def run_pooled(
     to ``journal`` (a :class:`~repro.experiments.journal.RunJournal`):
     per-seed results are checkpointed, and ``resume=True`` reloads
     journaled seeds instead of re-running them.
+
+    ``heartbeat`` (an :class:`repro.obs.heartbeat.ExecutorHeartbeat`)
+    emits periodic JSONL progress records while the pool executes.
     """
     if not seeds:
         raise ValueError("need at least one seed")
-    if workers > 1 or telemetry is not None or journal is not None:
+    if workers > 1 or telemetry is not None or journal is not None or heartbeat is not None:
         from repro.experiments.parallel import pooled_parallel
 
         return pooled_parallel(
@@ -310,6 +390,7 @@ def run_pooled(
             telemetry=telemetry,
             journal=journal,
             resume=resume,
+            heartbeat=heartbeat,
         )
     results = [
         run_scenario(scenario.with_overrides(seed=seed), trace_paths=trace_paths)

@@ -117,6 +117,16 @@ class Scenario:
     # of growing until the OOM killer takes the worker.  0 disables.
     max_pending_events: int = 5_000_000
 
+    # --- observability (repro.obs) --------------------------------------
+    # All off by default, and none of them perturbs the event calendar:
+    # identical seeds give bit-identical metrics whether these are on or
+    # off (wall_seconds and the profile payload excepted, of course).
+    profile: bool = False  # per-category scheduler profiling
+    heartbeat_interval_s: float = 0.0  # 0 disables the progress heartbeat
+    heartbeat_path: Optional[str] = None  # None = stderr; "{seed}" expands
+    trace_file: Optional[str] = None  # structured JSONL trace; "{seed}" expands
+    trace_occupancy_interval_s: float = 0.0  # 0 = no occupancy sampling
+
     # ------------------------------------------------------------------
     def with_overrides(self, **kwargs) -> "Scenario":
         return replace(self, **kwargs)
@@ -134,6 +144,12 @@ class Scenario:
             raise ValueError("invariant check interval cannot be negative")
         if self.max_pending_events < 0:
             raise ValueError("max pending events cannot be negative (0 disables the guard)")
+        if self.heartbeat_interval_s < 0:
+            raise ValueError("heartbeat interval cannot be negative (0 disables)")
+        if self.trace_occupancy_interval_s < 0:
+            raise ValueError("trace occupancy interval cannot be negative (0 disables)")
+        if self.trace_occupancy_interval_s > 0 and not self.trace_file:
+            raise ValueError("trace occupancy sampling requires a trace_file")
         if self.faults:
             # Parse eagerly so malformed rows fail at configuration time,
             # not halfway into a sweep.

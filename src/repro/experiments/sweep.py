@@ -55,6 +55,7 @@ def sweep(
     telemetry: Optional[RunTelemetry] = None,
     journal=None,
     resume: bool = False,
+    heartbeat=None,
 ) -> dict[tuple[object, str], ExperimentResult]:
     """Run ``base`` once per (value, scheme, seed) combination, pooling
     seeds into one result per (value, scheme).
@@ -74,6 +75,9 @@ def sweep(
     checkpoints every completed (value, scheme, seed) run; ``resume=True``
     reloads journaled runs so an interrupted sweep picks up where it left
     off and produces bit-identical pooled results.
+
+    ``heartbeat`` (an :class:`repro.obs.heartbeat.ExecutorHeartbeat`)
+    emits periodic JSONL progress records while the grid executes.
     """
     if not hasattr(base, parameter):
         raise ValueError(f"scenario has no parameter {parameter!r}")
@@ -95,6 +99,7 @@ def sweep(
         telemetry=telemetry,
         journal=journal,
         resume=resume,
+        heartbeat=heartbeat,
     )
 
 

@@ -1,4 +1,10 @@
-"""Measurement: flow/query records, statistics, fabric sampling, traces."""
+"""Measurement: flow/query records, statistics, fabric sampling, traces.
+
+The observability layer (:mod:`repro.obs`) produces the scoped counter
+snapshots, scheduler profiles, and structured JSONL traces; this package
+turns collected measurements into artifacts.  :func:`write_artifacts`
+bundles everything one run produced into a directory.
+"""
 
 from repro.metrics.collector import (
     KIND_BACKGROUND,
@@ -12,12 +18,21 @@ from repro.metrics.export import (
     export_telemetry_json,
     flows_to_records,
     queries_to_records,
+    write_artifacts,
     write_flows_csv,
     write_queries_csv,
 )
 from repro.metrics.hotlinks import FabricSampler
 from repro.metrics.stats import cdf_points, jain_index, mean, percentile, summarize
 from repro.metrics.trace import DetourTrace, QueueOccupancyTrace, arc_counts
+from repro.obs import (
+    CounterRegistry,
+    CounterSnapshot,
+    SchedulerProfiler,
+    TraceWriter,
+    read_trace,
+    summarize_trace,
+)
 
 __all__ = [
     "MetricsCollector",
@@ -26,6 +41,7 @@ __all__ = [
     "KIND_QUERY",
     "KIND_LONG",
     "FabricSampler",
+    "write_artifacts",
     "export_result_json",
     "export_telemetry_json",
     "flows_to_records",
@@ -40,4 +56,11 @@ __all__ = [
     "DetourTrace",
     "QueueOccupancyTrace",
     "arc_counts",
+    # Observability re-exports (repro.obs).
+    "CounterRegistry",
+    "CounterSnapshot",
+    "SchedulerProfiler",
+    "TraceWriter",
+    "read_trace",
+    "summarize_trace",
 ]

@@ -1,4 +1,13 @@
-"""Result export: JSON and CSV writers for flows, queries, and results.
+"""Result export: one artifact bundle per run, plus the typed writers.
+
+:func:`write_artifacts` is the single entry point: given an
+:class:`~repro.experiments.runner.ExperimentResult` and an output
+directory it emits everything a run produced — per-flow and per-query
+CSVs, the result JSON (scenario + metrics + scheduler profile), executor
+telemetry JSON, a copy of any structured trace files, and a
+``manifest.json`` indexing the bundle.  The individual ``write_*`` /
+``export_*`` names remain for callers that want exactly one artifact;
+they are the same writers ``write_artifacts`` composes.
 
 Downstream users typically want raw per-flow records to plot their own
 CDFs; these helpers dump everything the collector knows in stable, typed
@@ -9,17 +18,23 @@ versions.
 from __future__ import annotations
 
 import csv
+import glob as _glob
 import json
+import shutil
 from pathlib import Path
-from typing import TYPE_CHECKING, Union
+from typing import TYPE_CHECKING, Optional, Union
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.experiments.parallel import RunTelemetry
     from repro.experiments.runner import ExperimentResult
     from repro.metrics.collector import MetricsCollector
 
-__all__ = ["flows_to_records", "queries_to_records", "write_flows_csv",
-           "write_queries_csv", "export_result_json", "export_telemetry_json"]
+__all__ = ["write_artifacts", "MANIFEST_VERSION", "flows_to_records",
+           "queries_to_records", "write_flows_csv", "write_queries_csv",
+           "export_result_json", "export_telemetry_json"]
+
+# Bumped when the bundle layout (file names / manifest keys) changes.
+MANIFEST_VERSION = 1
 
 PathLike = Union[str, Path]
 
@@ -73,12 +88,20 @@ def queries_to_records(collector: "MetricsCollector") -> list[dict]:
 
 
 def write_flows_csv(collector: "MetricsCollector", path: PathLike) -> Path:
-    """Dump all flow records to CSV; returns the written path."""
+    """Dump all flow records to CSV; returns the written path.
+
+    Prefer :func:`write_artifacts` for the full bundle; this writes the
+    same ``flows.csv`` on its own.
+    """
     return _write_csv(Path(path), _FLOW_FIELDS, flows_to_records(collector))
 
 
 def write_queries_csv(collector: "MetricsCollector", path: PathLike) -> Path:
-    """Dump all query records to CSV; returns the written path."""
+    """Dump all query records to CSV; returns the written path.
+
+    Prefer :func:`write_artifacts` for the full bundle; this writes the
+    same ``queries.csv`` on its own.
+    """
     return _write_csv(Path(path), _QUERY_FIELDS, queries_to_records(collector))
 
 
@@ -91,7 +114,11 @@ def _write_csv(path: Path, fields: list[str], records: list[dict]) -> Path:
 
 
 def export_result_json(result: "ExperimentResult", path: PathLike) -> Path:
-    """Serialize an :class:`ExperimentResult` (scenario + metrics) to JSON."""
+    """Serialize an :class:`ExperimentResult` (scenario + metrics) to JSON.
+
+    Prefer :func:`write_artifacts` for the full bundle; this writes the
+    same ``result.json`` on its own.
+    """
     from dataclasses import asdict
 
     scenario = asdict(result.scenario)
@@ -115,6 +142,7 @@ def export_result_json(result: "ExperimentResult", path: PathLike) -> Path:
         "faults_applied": result.faults_applied,
         "fault_packets_killed": result.fault_packets_killed,
         "invariant_checks": result.invariant_checks,
+        "profile": result.profile,
     }
     out = Path(path)
     out.write_text(json.dumps(payload, indent=2, default=str))
@@ -130,7 +158,86 @@ def export_telemetry_json(telemetry: "RunTelemetry", path: PathLike) -> Path:
     waits and total backoff seconds, timeout escalations, whether the sweep
     was interrupted), and journal activity (cells resumed from / written to
     a ``--journal-dir``) — everything ``RunTelemetry.as_dict`` carries.
+
+    Prefer :func:`write_artifacts` for the full bundle; this writes the
+    same ``telemetry.json`` on its own.
     """
     out = Path(path)
     out.write_text(json.dumps(telemetry.as_dict(), indent=2, default=str))
     return out
+
+
+def write_artifacts(
+    result: "ExperimentResult",
+    out_dir: PathLike,
+    telemetry: Optional["RunTelemetry"] = None,
+    trace_file: Optional[str] = None,
+) -> dict[str, Path]:
+    """Write the full artifact bundle for one run into ``out_dir``.
+
+    The bundle (every piece optional except ``result.json`` and the
+    manifest):
+
+    ===================  ==============================================
+    ``result.json``      scenario + metrics + scheduler profile
+    ``flows.csv``        per-flow records (needs ``result.collector``)
+    ``queries.csv``      per-query records (needs ``result.collector``)
+    ``telemetry.json``   executor telemetry, when ``telemetry`` is given
+    ``profile.json``     the scheduler profile alone, when profiled
+    ``trace*.jsonl``     copies of the structured trace file(s)
+    ``manifest.json``    index of the above + skip reasons
+    ===================  ==============================================
+
+    ``trace_file`` defaults to ``result.scenario.trace_file``; a
+    ``{seed}`` placeholder matches every per-seed file.  Results that
+    crossed a process boundary carry no collector, so their CSVs are
+    skipped (the manifest says so).  Returns ``{artifact: path}`` for
+    everything written.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: dict[str, Path] = {}
+    skipped: dict[str, str] = {}
+
+    written["result"] = export_result_json(result, out / "result.json")
+
+    collector = getattr(result, "collector", None)
+    if collector is not None:
+        written["flows"] = write_flows_csv(collector, out / "flows.csv")
+        written["queries"] = write_queries_csv(collector, out / "queries.csv")
+    else:
+        skipped["flows"] = skipped["queries"] = (
+            "no collector on this result (it crossed a process boundary)"
+        )
+
+    if telemetry is not None:
+        written["telemetry"] = export_telemetry_json(telemetry, out / "telemetry.json")
+
+    if result.profile:
+        profile_path = out / "profile.json"
+        profile_path.write_text(json.dumps(result.profile, indent=2))
+        written["profile"] = profile_path
+
+    if trace_file is None:
+        trace_file = getattr(result.scenario, "trace_file", None)
+    if trace_file:
+        matches = sorted(_glob.glob(trace_file.replace("{seed}", "*")))
+        if not matches:
+            skipped["trace"] = f"no trace file matching {trace_file!r}"
+        for i, src in enumerate(matches):
+            dst = out / Path(src).name
+            if dst.resolve() != Path(src).resolve():
+                shutil.copyfile(src, dst)
+            written["trace" if i == 0 else f"trace_{i}"] = dst
+
+    manifest = {
+        "version": MANIFEST_VERSION,
+        "scenario": result.scenario.name,
+        "scheme": result.scenario.scheme,
+        "artifacts": {name: path.name for name, path in written.items()},
+        "skipped": skipped,
+    }
+    manifest_path = out / "manifest.json"
+    manifest_path.write_text(json.dumps(manifest, indent=2))
+    written["manifest"] = manifest_path
+    return written

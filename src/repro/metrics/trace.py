@@ -9,6 +9,12 @@ These power the anatomy examples that mirror Figures 1 and 2:
 * Per-packet paths (Fig. 1) come from ``Network(trace_paths=True)``, which
   makes every packet accumulate the node names it visits; see
   :func:`arc_counts` for the Fig. 1-style arc weights.
+
+These keep events in memory for the anatomy plots.  For an on-disk,
+versioned record of the same events (plus occupancy samples and counter
+snapshots) that ``repro trace`` can summarize, use
+:class:`repro.obs.trace.TraceWriter` — it chains the same callbacks, so
+both can observe one run.
 """
 
 from __future__ import annotations

@@ -29,6 +29,11 @@ class Host(Node):
         self.misdelivered = 0
         self.unclaimed = 0
         self.trace_paths = False
+        # Optional trace callback ``(time, host, packet)`` fired when a
+        # path-tracing packet reaches its destination (see repro.obs.trace).
+        # Only consulted when the packet actually carries a path, so runs
+        # without ``trace_paths`` never pay for it.
+        self.on_path: Optional[Callable[[float, "Host", Packet], None]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -56,6 +61,10 @@ class Host(Node):
     def unregister(self, flow_id: int) -> None:
         self._endpoints.pop(flow_id, None)
 
+    def counter_dict(self) -> dict[str, int]:
+        """Host-level delivery counters for the observability registry."""
+        return {"misdelivered": self.misdelivered, "unclaimed": self.unclaimed}
+
     def receive(self, pkt: Packet, in_port: int) -> None:
         if pkt.dst != self.node_id:
             # Hosts do not forward (§2 footnote 4).
@@ -63,6 +72,8 @@ class Host(Node):
             return
         if pkt.path is not None:
             pkt.path.append(self.name)
+            if self.on_path is not None:
+                self.on_path(self.scheduler.now, self, pkt)
         endpoint = self._endpoints.get(pkt.flow_id)
         if endpoint is None:
             self.unclaimed += 1

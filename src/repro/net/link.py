@@ -111,6 +111,22 @@ class Port:
         """Packets transmitted (or transmitting) but not yet delivered."""
         return len(self._in_flight)
 
+    def counter_dict(self) -> dict[str, int]:
+        """This port's counters (plus its queue's) for the observability
+        registry (:mod:`repro.obs.counters`).  ``qlen`` and ``in_flight``
+        are instantaneous gauges; everything else is cumulative."""
+        counters = self.queue.counter_dict()
+        counters.update(
+            bytes_sent=self.bytes_sent,
+            pkts_sent=self.pkts_sent,
+            link_down=self.drops_link_down,
+            corrupt=self.drops_corrupt,
+            pauses_received=self.pauses_received,
+            in_flight=len(self._in_flight),
+            qlen=len(self.queue),
+        )
+        return counters
+
     def send(self, pkt: Packet) -> bool:
         """Enqueue ``pkt`` for transmission.  Returns ``False`` on tail drop
         (or, for a down port, a recorded ``link_down`` drop)."""

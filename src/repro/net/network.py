@@ -50,6 +50,23 @@ _TRANSPORT_ALIASES = {
 }
 
 
+def _switch_counter_source(switch: Switch):
+    """Closure reading one switch's pipeline counters at snapshot time.
+
+    CIOQ switches additionally carry ingress drops; exposing them here (not
+    in a port scope) mirrors where the architecture counts them.
+    """
+
+    def source() -> dict[str, int]:
+        counters = switch.counters.as_dict()
+        ingress = getattr(switch, "ingress_drops", None)
+        if ingress is not None:
+            counters["ingress_overflow"] = ingress
+        return counters
+
+    return source
+
+
 @dataclass
 class SwitchQueueConfig:
     """Per-port queue configuration for all switches.
@@ -145,6 +162,8 @@ class Network:
                 xoff_fraction=self.switch_queues.pfc_xoff_fraction,
                 xon_fraction=self.switch_queues.pfc_xon_fraction,
             )
+
+        self.counter_registry = self._build_counter_registry()
 
     # ------------------------------------------------------------------
     # construction
@@ -258,6 +277,42 @@ class Network:
         self._install_fib_tables(compute_fibs(self.live_topology()))
 
     # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def _build_counter_registry(self):
+        """Register every counter source under dotted hierarchical scopes.
+
+        Registration is one-time wiring of zero-arg closures; the hot paths
+        keep bumping their own attributes and pay nothing extra.  See
+        :mod:`repro.obs.counters` for the scope layout.
+        """
+        from repro.obs.counters import CounterRegistry
+
+        registry = CounterRegistry()
+        for switch in self.switches:
+            registry.register(f"switch.{switch.name}", _switch_counter_source(switch))
+            for port in switch.ports:
+                registry.register(f"switch.{switch.name}.port{port.index}", port.counter_dict)
+        for host in self.hosts:
+            registry.register(f"host.{host.name}", host.counter_dict)
+            for port in host.ports:
+                registry.register(f"host.{host.name}.nic", port.counter_dict)
+        for controller in self.pfc_controllers:
+            registry.register(f"pfc.{controller.switch.name}", controller.counters_dict)
+        return registry
+
+    def counters(self):
+        """One coherent snapshot of every counter in the network.
+
+        Returns a :class:`repro.obs.counters.CounterSnapshot` with
+        hierarchical per-switch / per-port / per-host / PFC scopes and the
+        aggregate helpers (``total_drops()``, ``drop_report()``,
+        ``total_detours()``, ``total_ecn_marks()``) the legacy ``Network``
+        methods now delegate to.
+        """
+        return self.counter_registry.snapshot()
+
+    # ------------------------------------------------------------------
     # lookup helpers
     # ------------------------------------------------------------------
     def node(self, name: str) -> Union[Host, Switch]:
@@ -363,51 +418,35 @@ class Network:
         return self.scheduler.run(until=until, max_events=max_events)
 
     def total_detours(self) -> int:
-        return sum(sw.counters.detours for sw in self.switches)
+        """DIBS detours across all switches.
+
+        Deprecated: prefer ``counters().total_detours()`` — one
+        :meth:`counters` snapshot serves every aggregate.
+        """
+        return self.counters().total_detours()
 
     def total_switch_drops(self) -> int:
-        return sum(sw.counters.drops for sw in self.switches)
+        """Drops recorded by switch forwarding pipelines.
+
+        Deprecated: prefer ``counters().total_switch_drops()``.
+        """
+        return self.counters().total_switch_drops()
 
     def total_ecn_marks(self) -> int:
-        marks = 0
-        for switch in self.switches:
-            for port in switch.ports:
-                marks += getattr(port.queue, "marks", 0)
-        return marks
+        """ECN CE marks applied by switch egress queues.
+
+        Deprecated: prefer ``counters().total_ecn_marks()``.
+        """
+        return self.counters().total_ecn_marks()
 
     def drop_report(self) -> dict[str, int]:
         """Drops by cause, network-wide (switch pipeline + host NICs +
-        pFabric in-queue evictions + fault-injected losses)."""
-        report = {
-            "overflow": 0,
-            "ttl_expired": 0,
-            "no_route": 0,
-            "no_detour_port": 0,
-            "host_nic": 0,
-            "pfabric_evictions": 0,
-            "ingress_overflow": 0,
-            "switch_failed": 0,
-            "link_down": 0,
-            "corrupt": 0,
-        }
-        for switch in self.switches:
-            c = switch.counters
-            report["overflow"] += c.drops_overflow
-            report["ttl_expired"] += c.drops_ttl
-            report["no_route"] += c.drops_no_route
-            report["no_detour_port"] += c.drops_no_detour
-            report["switch_failed"] += c.drops_switch_failed
-            report["ingress_overflow"] += getattr(switch, "ingress_drops", 0)
-            for port in switch.ports:
-                report["pfabric_evictions"] += getattr(port.queue, "evictions", 0)
-                report["link_down"] += port.drops_link_down
-                report["corrupt"] += port.drops_corrupt
-        for host in self.hosts:
-            for port in host.ports:
-                report["host_nic"] += port.queue.drops
-                report["link_down"] += port.drops_link_down
-                report["corrupt"] += port.drops_corrupt
-        return report
+        pFabric in-queue evictions + fault-injected losses).
+
+        Deprecated: prefer ``counters().drop_report()`` (identical keys and
+        values; the snapshot additionally exposes the per-scope breakdown).
+        """
+        return self.counters().drop_report()
 
     def total_drops(self) -> int:
         # "overflow" counts arrivals the queue rejected; pFabric evictions
@@ -417,4 +456,6 @@ class Network:
         # the queue counters: a down port rejects before the queue sees the
         # packet, corruption discards after dequeue, and a failed switch
         # drops in its own pipeline.
-        return sum(self.drop_report().values())
+        #
+        # Deprecated: prefer ``counters().total_drops()``.
+        return self.counters().total_drops()

@@ -72,6 +72,13 @@ class PfcController:
         for port in self.switch.ports:
             port.on_queue_change = self._on_queue_change
 
+    def counters_dict(self) -> dict[str, int]:
+        """Control-frame counters for the observability registry."""
+        return {
+            "pause_frames_sent": self.pause_frames_sent,
+            "resume_frames_sent": self.resume_frames_sent,
+        }
+
     # ------------------------------------------------------------------
     def _on_queue_change(self, port: Port) -> None:
         ports = self.switch.ports

@@ -83,6 +83,11 @@ class DropTailQueue:
         """Nominal packet capacity (used by occupancy metrics)."""
         return self.capacity_pkts
 
+    def counter_dict(self) -> dict[str, int]:
+        """Cumulative counters for the observability registry
+        (:mod:`repro.obs.counters`); subclasses extend with their extras."""
+        return {"enqueues": self.enqueues, "queue_drops": self.drops}
+
     def clear(self) -> None:
         """Discard all queued packets and reset ``byte_count`` to zero.
 
@@ -123,6 +128,11 @@ class EcnQueue(DropTailQueue):
         self.byte_count += pkt.size
         self.enqueues += 1
         return True
+
+    def counter_dict(self) -> dict[str, int]:
+        counters = super().counter_dict()
+        counters["ecn_marks"] = self.marks
+        return counters
 
 
 class PFabricQueue:
@@ -189,6 +199,13 @@ class PFabricQueue:
     @property
     def capacity_hint(self) -> int:
         return self.capacity_pkts
+
+    def counter_dict(self) -> dict[str, int]:
+        return {
+            "enqueues": self.enqueues,
+            "queue_drops": self.drops,
+            "pfabric_evictions": self.evictions,
+        }
 
     def clear(self) -> None:
         """Discard all queued packets; counters keep their history."""
@@ -294,6 +311,13 @@ class DynamicBufferQueue:
         from repro.net.packet import MTU_BYTES
 
         return max(1, self.pool.total_bytes // MTU_BYTES)
+
+    def counter_dict(self) -> dict[str, int]:
+        return {
+            "enqueues": self.enqueues,
+            "queue_drops": self.drops,
+            "ecn_marks": self.marks,
+        }
 
     def clear(self) -> None:
         """Discard all queued packets, returning their bytes to the shared

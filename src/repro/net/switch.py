@@ -51,7 +51,13 @@ DEFAULT_HOP_LIMIT = 1 << 30
 
 
 class SwitchCounters:
-    """Per-switch event counters consumed by the metrics layer."""
+    """Per-switch event counters consumed by the metrics layer.
+
+    Increments are plain slot bumps on the forwarding hot path; the
+    observability registry (:mod:`repro.obs.counters`) scrapes
+    :meth:`as_dict` into the ``switch.<name>`` scope of a
+    ``Network.counters()`` snapshot.
+    """
 
     __slots__ = ("forwards", "detours", "drops_overflow", "drops_ttl",
                  "drops_no_route", "drops_no_detour", "drops_switch_failed")

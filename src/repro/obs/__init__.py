@@ -1,0 +1,58 @@
+"""repro.obs — low-overhead observability for the simulator and executors.
+
+Four pieces, all opt-in and all free when off:
+
+* :mod:`repro.obs.counters` — the hierarchical counter registry behind
+  ``Network.counters()``: one snapshot call returns every per-switch,
+  per-port, per-host and PFC counter under dotted scopes.
+* :mod:`repro.obs.profiler` — opt-in scheduler profiling: wall time and
+  event counts bucketed per callback category (link deliver, switch
+  forward, transport timer, workload arm, ...).
+* :mod:`repro.obs.heartbeat` — periodic JSONL progress records
+  (events/sec, sim-time rate, pending depth, per-worker status) from both
+  ``run_scenario`` and the parallel sweep executor.
+* :mod:`repro.obs.trace` — the versioned structured trace writer unifying
+  detour/drop/occupancy/path events in one JSONL schema, plus the readers
+  behind the ``repro trace`` CLI subcommand.
+
+Nothing here schedules simulator events: instrumentation rides the
+scheduler's run-loop hooks (:meth:`repro.sim.engine.Scheduler.add_hook`),
+so identical seeds stay bit-identical with observability on or off.
+"""
+
+from repro.obs.counters import CounterRegistry, CounterSnapshot
+from repro.obs.heartbeat import ExecutorHeartbeat, HeartbeatWriter, SimHeartbeat
+from repro.obs.profiler import (
+    SchedulerProfiler,
+    format_profile,
+    merge_profiles,
+    profile_category,
+    profile_table,
+)
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    TraceWriter,
+    format_trace_summary,
+    read_trace,
+    summarize_trace,
+    validate_record,
+)
+
+__all__ = [
+    "CounterRegistry",
+    "CounterSnapshot",
+    "SchedulerProfiler",
+    "profile_category",
+    "profile_table",
+    "format_profile",
+    "merge_profiles",
+    "HeartbeatWriter",
+    "SimHeartbeat",
+    "ExecutorHeartbeat",
+    "TraceWriter",
+    "TRACE_SCHEMA_VERSION",
+    "read_trace",
+    "validate_record",
+    "summarize_trace",
+    "format_trace_summary",
+]

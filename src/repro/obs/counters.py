@@ -1,0 +1,164 @@
+"""Hierarchical counter registry and snapshots.
+
+The simulator keeps its counters where the hot paths already touch them —
+``SwitchCounters`` slots, queue ``drops``/``enqueues``/``marks`` fields,
+``Port`` byte/fault tallies — so increments stay O(1) attribute bumps with
+zero indirection.  What was missing is one place to *read* them: the
+aggregate methods on :class:`~repro.net.network.Network` each rescanned the
+topology with their own ad-hoc ``getattr`` walks.
+
+:class:`CounterRegistry` closes that gap.  Every instrumented object
+registers a *scope* (a dotted hierarchical name such as
+``switch.agg_0.port2`` or ``host.host_3.nic``) together with a callable
+returning its counters as a plain dict.  :meth:`CounterRegistry.snapshot`
+materialises everything into a :class:`CounterSnapshot`, which offers
+hierarchical sums (:meth:`CounterSnapshot.total`) and reproduces the exact
+semantics of the legacy aggregate methods (:meth:`CounterSnapshot.drop_report`
+et al.) so ``Network.total_drops()`` and friends could become thin wrappers.
+
+Scopes used by :class:`~repro.net.network.Network`:
+
+=======================  ====================================================
+scope                    counters
+=======================  ====================================================
+``switch.<name>``        forwards, detours, drops_* (by reason),
+                         ingress_overflow (CIOQ only)
+``switch.<name>.port<i>`` enqueues, queue_drops, ecn_marks,
+                         pfabric_evictions, link_down, corrupt, bytes_sent,
+                         pkts_sent, pauses_received, in_flight, qlen
+``host.<name>``          misdelivered, unclaimed
+``host.<name>.nic``      same port counters as switch ports
+``pfc.<name>``           pause_frames_sent, resume_frames_sent
+=======================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Mapping
+
+__all__ = ["CounterRegistry", "CounterSnapshot"]
+
+
+class CounterSnapshot:
+    """An immutable point-in-time view of every registered counter.
+
+    ``scopes`` maps dotted scope names to ``{counter: value}`` dicts.  All
+    aggregation helpers are prefix-based: ``total("detours", "switch.")``
+    sums the ``detours`` counter over every scope under ``switch.``.
+    """
+
+    __slots__ = ("scopes",)
+
+    def __init__(self, scopes: Mapping[str, Mapping[str, int]]) -> None:
+        self.scopes = {name: dict(counters) for name, counters in scopes.items()}
+
+    # ------------------------------------------------------------------
+    # generic access
+    # ------------------------------------------------------------------
+    def total(self, counter: str, prefix: str = "") -> int:
+        """Sum ``counter`` over every scope whose name starts with ``prefix``."""
+        out = 0
+        for scope, counters in self.scopes.items():
+            if prefix and not scope.startswith(prefix):
+                continue
+            out += counters.get(counter, 0)
+        return out
+
+    def get(self, scope: str, counter: str, default: int = 0) -> int:
+        return self.scopes.get(scope, {}).get(counter, default)
+
+    def iter_scopes(self, prefix: str = "") -> Iterator[tuple[str, dict]]:
+        for scope, counters in self.scopes.items():
+            if not prefix or scope.startswith(prefix):
+                yield scope, counters
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        """Nested plain-dict view (scope -> counter -> value)."""
+        return {scope: dict(counters) for scope, counters in self.scopes.items()}
+
+    def flat(self) -> dict[str, int]:
+        """Flat ``{"scope.counter": value}`` view for compact JSON export."""
+        return {
+            f"{scope}.{counter}": value
+            for scope, counters in sorted(self.scopes.items())
+            for counter, value in sorted(counters.items())
+        }
+
+    # ------------------------------------------------------------------
+    # legacy aggregates (the Network.total_*() semantics, exactly)
+    # ------------------------------------------------------------------
+    def total_detours(self) -> int:
+        """DIBS detours across all switches."""
+        return self.total("detours", "switch.")
+
+    def total_ecn_marks(self) -> int:
+        """ECN CE marks applied by switch egress queues."""
+        return self.total("ecn_marks", "switch.")
+
+    def total_switch_drops(self) -> int:
+        """Drops recorded by switch forwarding pipelines (all reasons)."""
+        return sum(
+            counters.get(name, 0)
+            for scope, counters in self.scopes.items()
+            if scope.startswith("switch.") and "." not in scope[len("switch."):]
+            for name in (
+                "drops_overflow", "drops_ttl", "drops_no_route",
+                "drops_no_detour", "drops_switch_failed",
+            )
+        )
+
+    def drop_report(self) -> dict[str, int]:
+        """Drops by cause, network-wide — key-for-key identical to the
+        historical ``Network.drop_report()`` output."""
+        return {
+            "overflow": self.total("drops_overflow", "switch."),
+            "ttl_expired": self.total("drops_ttl", "switch."),
+            "no_route": self.total("drops_no_route", "switch."),
+            "no_detour_port": self.total("drops_no_detour", "switch."),
+            "host_nic": self.total("queue_drops", "host."),
+            "pfabric_evictions": self.total("pfabric_evictions", "switch."),
+            "ingress_overflow": self.total("ingress_overflow", "switch."),
+            "switch_failed": self.total("drops_switch_failed", "switch."),
+            "link_down": self.total("link_down"),
+            "corrupt": self.total("corrupt"),
+        }
+
+    def total_drops(self) -> int:
+        """Sum of :meth:`drop_report` (see its docstring for why the causes
+        are disjoint and safe to add)."""
+        return sum(self.drop_report().values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CounterSnapshot scopes={len(self.scopes)} drops={self.total_drops()}>"
+
+
+class CounterRegistry:
+    """Registered scrape sources, snapshotted on demand.
+
+    Registration happens once at network build time; reading the counters
+    costs nothing until :meth:`snapshot` is called, and increments go
+    straight to the owning objects' attributes as before — the registry
+    adds no per-event overhead.
+    """
+
+    __slots__ = ("_sources",)
+
+    def __init__(self) -> None:
+        self._sources: list[tuple[str, Callable[[], Mapping[str, int]]]] = []
+
+    def register(self, scope: str, source: Callable[[], Mapping[str, int]]) -> None:
+        """Attach ``source`` (a zero-arg callable returning a counter dict)
+        under ``scope``.  Scopes registered twice are merged at snapshot
+        time (later sources win on key collisions)."""
+        if not scope:
+            raise ValueError("counter scope cannot be empty")
+        self._sources.append((scope, source))
+
+    def snapshot(self) -> CounterSnapshot:
+        scopes: dict[str, dict[str, int]] = {}
+        for scope, source in self._sources:
+            scopes.setdefault(scope, {}).update(source())
+        return CounterSnapshot(scopes)
+
+    def __len__(self) -> int:
+        return len(self._sources)

@@ -56,10 +56,13 @@ RAISING = TINY.with_overrides(scheme="does-not-exist", name="raising")
 # Cannot finish inside a tight wall-clock timeout.
 SLOW = TINY.with_overrides(duration_s=5.0, drain_s=1.0, name="slow")
 
+# The collector is a live-object handle that never survives a journal or
+# process-boundary round trip, so like wall_seconds it is not part of the
+# metrics contract being compared.
 _COMPARE_FIELDS = [
     f.name
     for f in dataclasses.fields(ExperimentResult)
-    if f.name not in ("scenario", "wall_seconds")
+    if f.name not in ("scenario", "wall_seconds", "collector")
 ]
 
 

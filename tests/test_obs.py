@@ -1,0 +1,359 @@
+"""Observability (repro.obs): counters, profiler, heartbeat, trace.
+
+The load-bearing property throughout: instrumentation never perturbs the
+event calendar, so identical seeds produce bit-identical metrics with
+observability on or off.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.runner import result_to_dict, run_scenario
+from repro.experiments.scenarios import SCALED_DEFAULTS
+from repro.obs.counters import CounterRegistry
+from repro.obs.heartbeat import ExecutorHeartbeat, HeartbeatWriter, SimHeartbeat
+from repro.obs.profiler import format_profile, merge_profiles
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    read_trace,
+    summarize_trace,
+    validate_record,
+)
+from repro.sim.engine import Scheduler
+
+TINY = SCALED_DEFAULTS.with_overrides(
+    name="obs-tiny", duration_s=0.02, drain_s=0.3, qps=100.0,
+    incast_degree=6, bg_enabled=False,
+)
+
+# The comparison contract for "bit-identical metrics": everything except
+# measured wall time and the instrumentation payloads themselves.
+_EXCLUDED = ("wall_seconds", "profile", "collector")
+
+
+def _metrics(result):
+    payload = result_to_dict(result, include_scenario=False)
+    for name in _EXCLUDED:
+        payload.pop(name, None)
+    return payload
+
+
+def _strip_obs(scenario):
+    """The same operating point with every obs knob back at its default."""
+    return scenario.with_overrides(
+        profile=False, heartbeat_interval_s=0.0, heartbeat_path=None,
+        trace_file=None, trace_occupancy_interval_s=0.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# counters
+# ----------------------------------------------------------------------
+class TestCounters:
+    def test_snapshot_matches_legacy_methods(self):
+        network = TINY.build_network()
+        network.run(until=0.3)
+        snap = network.counters()
+        assert snap.total_detours() == network.total_detours()
+        assert snap.total_ecn_marks() == network.total_ecn_marks()
+        assert snap.total_drops() == network.total_drops()
+        assert snap.drop_report() == network.drop_report()
+
+    def test_scopes_cover_every_device(self):
+        network = TINY.build_network()
+        snap = network.counters()
+        scopes = {name for name, _ in snap.iter_scopes()}
+        for switch in network.switches:
+            assert f"switch.{switch.name}" in scopes
+            for port in switch.ports:
+                assert f"switch.{switch.name}.port{port.index}" in scopes
+        for host in network.hosts:
+            assert f"host.{host.name}" in scopes
+            assert f"host.{host.name}.nic" in scopes
+
+    def test_flat_matches_nested_view(self):
+        network = TINY.build_network()
+        network.run(until=0.3)
+        snap = network.counters()
+        flat = snap.flat()
+        nested = snap.as_dict()
+        assert flat == {
+            f"{scope}.{counter}": value
+            for scope, counters in nested.items()
+            for counter, value in counters.items()
+        }
+        assert snap.total("detours", "switch.") == sum(
+            v for k, v in flat.items()
+            if k.startswith("switch.") and k.endswith(".detours")
+        )
+
+    def test_snapshot_is_frozen_copy(self):
+        network = TINY.build_network()
+        before = network.counters()
+        network.switches[0].counters.detours += 7
+        assert before.total_detours() == 0
+        assert network.counters().total_detours() == 7
+
+    def test_registry_rejects_nothing_and_merges_scopes(self):
+        registry = CounterRegistry()
+        registry.register("a", lambda: {"x": 1})
+        registry.register("a", lambda: {"y": 2})
+        snap = registry.snapshot()
+        assert snap.get("a", "x") == 1
+        assert snap.get("a", "y") == 2
+
+
+# ----------------------------------------------------------------------
+# determinism under instrumentation (the ISSUE's acceptance property)
+# ----------------------------------------------------------------------
+class TestDeterminismUnderInstrumentation:
+    def test_metrics_bit_identical_with_all_obs_on(self, tmp_path):
+        instrumented = TINY.with_overrides(
+            profile=True,
+            heartbeat_interval_s=0.001,
+            heartbeat_path=str(tmp_path / "hb.jsonl"),
+            trace_file=str(tmp_path / "run.trace.jsonl"),
+            trace_occupancy_interval_s=0.002,
+        )
+        plain = run_scenario(_strip_obs(instrumented))
+        traced = run_scenario(instrumented)
+        assert _metrics(plain) == _metrics(traced)
+        assert traced.profile is not None
+        assert (tmp_path / "hb.jsonl").exists()
+        assert (tmp_path / "run.trace.jsonl").exists()
+
+    def test_profile_categories_sum_to_event_count(self):
+        result = run_scenario(TINY.with_overrides(profile=True))
+        profile = result.profile
+        assert profile["total_events"] == result.events
+        assert sum(c["events"] for c in profile["categories"].values()) == result.events
+        assert profile["total_wall_s"] > 0
+        assert "link.deliver" in profile["categories"]
+
+    def test_merge_profiles(self):
+        results = [
+            run_scenario(TINY.with_overrides(profile=True, seed=seed))
+            for seed in (0, 1)
+        ]
+        merged = merge_profiles(r.profile for r in results)
+        assert merged["total_events"] == sum(r.events for r in results)
+        assert merge_profiles([None, None]) is None
+        assert "link.deliver" in format_profile(merged)
+
+
+# ----------------------------------------------------------------------
+# heartbeat
+# ----------------------------------------------------------------------
+class TestHeartbeat:
+    def test_sim_heartbeat_records(self, tmp_path):
+        path = tmp_path / "hb.jsonl"
+        run_scenario(TINY.with_overrides(
+            heartbeat_interval_s=0.001, heartbeat_path=str(path),
+        ))
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert records, "expected at least the final heartbeat"
+        assert all(r["type"] == "sim" for r in records)
+        assert records[-1]["final"] is True
+        assert records[-1]["pending"] == 0
+        assert records[-1]["events"] > 0
+        assert records[-1]["label"] == "obs-tiny"
+
+    def test_seed_placeholder_expands(self, tmp_path):
+        from repro.experiments.runner import run_pooled
+
+        run_pooled(
+            TINY.with_overrides(
+                heartbeat_interval_s=0.001,
+                heartbeat_path=str(tmp_path / "hb_{seed}.jsonl"),
+            ),
+            seeds=(0, 1),
+        )
+        assert (tmp_path / "hb_0.jsonl").exists()
+        assert (tmp_path / "hb_1.jsonl").exists()
+
+    def test_executor_heartbeat(self, tmp_path):
+        path = tmp_path / "exec.jsonl"
+        hb = ExecutorHeartbeat(HeartbeatWriter(str(path)), interval_s=1e-9)
+        hb.emit(completed=1, total=4, running=[{"key": "a", "attempt": 1, "wall_s": 0.1}],
+                pending=2)
+        hb.writer.close()
+        record = json.loads(path.read_text().splitlines()[0])
+        assert record["type"] == "executor"
+        assert record["completed"] == 1
+        assert record["in_flight"] == 1
+        assert record["queued"] == 2
+
+    def test_executor_heartbeat_threads_through_run_pooled(self, tmp_path):
+        from repro.experiments.runner import run_pooled
+
+        path = tmp_path / "exec.jsonl"
+        hb = ExecutorHeartbeat(HeartbeatWriter(str(path)), interval_s=1e-9)
+        run_pooled(TINY, seeds=(0, 1), heartbeat=hb)
+        hb.writer.close()
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert records
+        assert all(r["type"] == "executor" for r in records)
+        assert records[-1]["total"] == 2
+
+
+# ----------------------------------------------------------------------
+# structured trace
+# ----------------------------------------------------------------------
+class TestTraceSchema:
+    def test_every_record_validates(self, tmp_path):
+        path = tmp_path / "run.trace.jsonl"
+        run_scenario(TINY.with_overrides(
+            trace_file=str(path), trace_occupancy_interval_s=0.005,
+        ))
+        records = list(read_trace(path))  # read_trace validates each line
+        kinds = {r["type"] for r in records}
+        assert records[0]["type"] == "meta"
+        assert records[-1]["type"] == "counters"
+        assert "detour" in kinds
+        assert "occupancy" in kinds
+        assert all(r["v"] == TRACE_SCHEMA_VERSION for r in records)
+
+    def test_validate_record_rejects_malformed(self):
+        good = {"v": 1, "type": "drop", "t": 0.1,
+                "node": "s", "flow": 1, "reason": "overflow"}
+        assert validate_record(dict(good)) == good
+        with pytest.raises(ValueError, match="version"):
+            validate_record({**good, "v": 99})
+        with pytest.raises(ValueError, match="type"):
+            validate_record({**good, "type": "nonsense"})
+        with pytest.raises(ValueError, match="missing"):
+            validate_record({"v": 1, "type": "drop", "t": 0.1})
+        with pytest.raises(ValueError, match="missing 't'"):
+            validate_record({"v": 1, "type": "meta"})
+
+    def test_read_trace_reports_line_numbers(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"v":1,"type":"meta","t":0}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            list(read_trace(path))
+
+    def test_summary_round_trip(self, tmp_path):
+        path = tmp_path / "run.trace.jsonl"
+        result = run_scenario(TINY.with_overrides(
+            trace_file=str(path), trace_occupancy_interval_s=0.005,
+        ))
+        summary = summarize_trace(path)
+        assert summary["meta"] == {"label": "obs-tiny", "seed": 0}
+        # The trace saw exactly the detours the run counted.
+        assert sum(summary["detours_by_switch"].values()) == result.detours
+        assert summary["final_counters"]["switch." + max(
+            summary["detours_by_switch"], key=summary["detours_by_switch"].get
+        ) + ".detours"] > 0
+        assert summary["by_type"]["occupancy"] > 0
+
+    def test_trace_chains_existing_detour_trace(self, tmp_path):
+        from repro.metrics.trace import DetourTrace
+        from repro.obs.trace import TraceWriter
+        from repro.workload.query import QueryTraffic
+
+        network = TINY.build_network()
+        anatomy = DetourTrace(network)  # installed first, must keep working
+        writer = TraceWriter(tmp_path / "t.jsonl").attach(network)
+        QueryTraffic(
+            network, qps=TINY.qps, degree=TINY.incast_degree,
+            response_bytes=TINY.response_bytes,
+            transport=TINY.transport_config(), stop_at=TINY.duration_s,
+        ).start()
+        network.run(until=0.3)
+        writer.close()
+        traced = sum(1 for _ in read_trace(tmp_path / "t.jsonl", kind="detour"))
+        assert traced == len(anatomy.detour_events)
+        assert traced > 0
+
+
+# ----------------------------------------------------------------------
+# scheduler hooks and O(1) pending
+# ----------------------------------------------------------------------
+class TestSchedulerObsHooks:
+    def test_hooks_fire_on_event_cadence(self):
+        sched = Scheduler()
+        seen = []
+        sched.add_hook(lambda s: seen.append(s.events_processed), 10)
+        for i in range(35):
+            sched.schedule_at(i * 0.001, lambda: None)
+        sched.run()
+        assert seen == [10, 20, 30]
+
+    def test_remove_hook(self):
+        sched = Scheduler()
+        seen = []
+        handle = sched.add_hook(lambda s: seen.append(1), 1)
+        sched.schedule_at(0.0, lambda: None)
+        sched.run()
+        sched.remove_hook(handle)
+        sched.schedule_at(1.0, lambda: None)
+        sched.run()
+        assert seen == [1]
+
+    def test_pending_is_live_count_not_heap_size(self):
+        sched = Scheduler()
+        events = [sched.schedule_at(i * 0.001, lambda: None) for i in range(100)]
+        assert sched.pending == 100
+        for ev in events[50:]:
+            ev.cancel()
+        # Cancelled events still sit in the heap, but pending must not
+        # count them (and must not cost a heap scan to say so).
+        assert sched.pending == 50
+        sched.run()
+        assert sched.pending == 0
+
+    def test_cancel_after_fire_is_noop_for_pending(self):
+        sched = Scheduler()
+        fired = sched.schedule_at(0.0, lambda: None)
+        sched.run()
+        fired.cancel()
+        fired.cancel()
+        assert sched.pending == 0
+
+
+# ----------------------------------------------------------------------
+# unified exporter
+# ----------------------------------------------------------------------
+class TestWriteArtifacts:
+    def test_full_bundle(self, tmp_path):
+        from repro.metrics.export import write_artifacts
+
+        trace = tmp_path / "run.trace.jsonl"
+        result = run_scenario(TINY.with_overrides(
+            profile=True, trace_file=str(trace),
+        ))
+        out = tmp_path / "bundle"
+        written = write_artifacts(result, out)
+        names = {p.name for p in written.values()}
+        assert names >= {"result.json", "flows.csv", "queries.csv",
+                         "profile.json", "run.trace.jsonl", "manifest.json"}
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert manifest["version"] == 1
+        assert manifest["skipped"] == {}
+        payload = json.loads((out / "result.json").read_text())
+        assert payload["profile"]["total_events"] == result.events
+
+    def test_collectorless_result_skips_csvs(self, tmp_path):
+        from repro.metrics.export import write_artifacts
+
+        result = run_scenario(TINY)
+        result.collector = None  # as after a process boundary
+        written = write_artifacts(result, tmp_path / "bundle")
+        assert "flows" not in written
+        manifest = json.loads((tmp_path / "bundle" / "manifest.json").read_text())
+        assert "flows" in manifest["skipped"]
+
+    def test_seed_placeholder_collects_all_traces(self, tmp_path):
+        from repro.experiments.runner import run_pooled
+        from repro.metrics.export import write_artifacts
+
+        scenario = TINY.with_overrides(
+            trace_file=str(tmp_path / "t_{seed}.jsonl"),
+        )
+        result = run_pooled(scenario, seeds=(0, 1))
+        written = write_artifacts(result, tmp_path / "bundle")
+        names = {p.name for p in written.values()}
+        assert {"t_0.jsonl", "t_1.jsonl"} <= names
+        # Pooled serial results keep a merged collector, so CSVs exist too.
+        assert "flows.csv" in names

@@ -21,11 +21,13 @@ TINY = SCALED_DEFAULTS.with_overrides(
 )
 
 # Everything an equivalence check should compare: samples and counters, but
-# not wall_seconds (measured time differs between processes by definition).
+# not wall_seconds (measured time differs between processes by definition)
+# and not the collector (a live-object handle that never crosses a process
+# boundary, so serial pools have one and parallel pools cannot).
 _COMPARE_FIELDS = [
     f.name
     for f in dataclasses.fields(ExperimentResult)
-    if f.name not in ("scenario", "wall_seconds")
+    if f.name not in ("scenario", "wall_seconds", "collector")
 ]
 
 

@@ -34,8 +34,9 @@ class TestRegistryConsistency:
         on_disk = {
             p.stem
             for p in benchmarks_dir().glob("bench_*.py")
-            # The engine microbenchmark is substrate health, not a paper artifact.
-            if p.stem != "bench_engine_throughput"
+            # Substrate-health benches (engine throughput, observability
+            # overhead gates) are not paper artifacts.
+            if p.stem not in {"bench_engine_throughput", "bench_obs_overhead"}
         }
         assert on_disk == registered, (
             f"unregistered: {sorted(on_disk - registered)}; "
