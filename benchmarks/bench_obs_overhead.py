@@ -4,12 +4,18 @@ Not a paper figure: guards the repro.obs bargain.  Three claims are
 measured (and, with ``--check``, enforced):
 
 1. **Off-mode is free.**  The current plain run loop is compared against
-   an in-repo replica of the pre-observability loop (same heap, same
+   an in-repo replica of the pre-observability loop (binary heap, same
    Event objects, no hook/settle support) on a no-op event calendar.
-   Gate: slowdown <= 2%.
+   The replica runs on `HeapScheduler` — the reference heap engine kept
+   in `repro.sim.engine_heap` — because the default engine no longer
+   carries a `_heap` at all (it is a calendar queue; see
+   `repro.sim.engine`).  Gate: slowdown <= 2%.  Since the calendar
+   engine is *faster* than the heap replica, the gate now passes with
+   margin; it remains in place to catch an obs feature re-introducing
+   per-event cost.
 2. **Profiled mode is cheap.**  The same calendar with the default
    (sampled) `SchedulerProfiler` installed versus without.  Gate:
-   slowdown <= 5%.  The default profiler reads the clock once per
+   slowdown <= 8%.  The default profiler reads the clock once per
    ~16-31 event window (see `repro.obs.profiler`), so the per-event cost
    is a local countdown decrement; `sample_stride=1` (exact per-event
    timing) is reported ungated for contrast.
@@ -59,6 +65,7 @@ from repro.experiments.scenarios import SCALED_DEFAULTS
 from repro.net.network import Network, SwitchQueueConfig
 from repro.obs.profiler import SchedulerProfiler
 from repro.sim.engine import Scheduler
+from repro.sim.engine_heap import HeapScheduler
 from repro.topo import fat_tree
 
 import common
@@ -71,9 +78,14 @@ RAW_EVENTS = 20_000
 
 # Gates (fractional slowdown of the best-of-N calendar time): the
 # off-mode loop versus the pre-observability replica, and the sampled
-# profiled loop versus the off-mode one.
+# profiled loop versus the off-mode one.  The profiled budget was 5%
+# when the off-mode loop ran on a binary heap; the calendar engine cut
+# the off-mode per-event cost, so the *same absolute* per-event profiler
+# cost (a countdown decrement, ~16-31 events per clock read) is now a
+# larger fraction of the denominator.  Budget restated against the
+# faster loop; the absolute cost is unchanged and still gated.
 OFF_MODE_BUDGET = 0.02
-PROFILED_BUDGET = 0.05
+PROFILED_BUDGET = 0.08
 
 # Maximum spread tolerated between the two identical "obs off" arms
 # before the gates are declared unenforceable on this machine: if two
@@ -101,12 +113,13 @@ def _noop():
 # ----------------------------------------------------------------------
 # arm 0: the pre-observability run loop, replicated on today's Scheduler
 # ----------------------------------------------------------------------
-def _legacy_run(sched: Scheduler, until=None, max_events=None) -> int:
+def _legacy_run(sched: HeapScheduler, until=None, max_events=None) -> int:
     """The run loop as it was before hooks/profiling/settling existed,
-    operating on the current Scheduler's heap.  This is the in-repo
-    baseline the off-mode gate compares against — measured fresh on the
-    same machine and Python, so the comparison survives hardware changes
-    where a stored number would not."""
+    operating on a HeapScheduler's heap (the default engine is now a
+    calendar queue with no ``_heap``).  This is the in-repo baseline the
+    off-mode gate compares against — measured fresh on the same machine
+    and Python, so the comparison survives hardware changes where a
+    stored number would not."""
     processed = 0
     heap = sched._heap
     watchdog = sched.watchdog
@@ -136,11 +149,11 @@ def _legacy_run(sched: Scheduler, until=None, max_events=None) -> int:
 # ----------------------------------------------------------------------
 # workloads
 # ----------------------------------------------------------------------
-def _raw_calendar(run_loop, make_profiler=None) -> float:
+def _raw_calendar(run_loop, make_profiler=None, make_sched=Scheduler) -> float:
     """Seconds to drain RAW_EVENTS no-op events (GC parked while timing:
     collection pauses land on whichever arm happens to cross a threshold,
     which is exactly the kind of noise a 2% gate cannot absorb)."""
-    sched = Scheduler()
+    sched = make_sched()
     if make_profiler is not None:
         make_profiler().install(sched)
     for i in range(RAW_EVENTS):
@@ -219,7 +232,7 @@ def _canonical_metrics(result) -> str:
     # construction* (one has the obs knobs set), so the scenario echo is
     # excluded; everything measured must still match byte for byte.
     payload = result_to_dict(result, include_scenario=False)
-    for name in ("wall_seconds", "profile", "collector"):
+    for name in ("wall_seconds", "run_loop_seconds", "profile", "collector"):
         payload.pop(name, None)
     return json.dumps(payload, sort_keys=True, default=str)
 
@@ -399,7 +412,7 @@ def run(full: bool = False, rounds: int = 5) -> tuple[str, list[str]]:
 
 
 def _raw_calendar_legacy() -> float:
-    return _raw_calendar(_legacy_run)
+    return _raw_calendar(_legacy_run, make_sched=HeapScheduler)
 
 
 def _raw_calendar_current() -> float:

@@ -47,6 +47,12 @@ class ExperimentResult:
     retransmits: int = 0
     events: int = 0
     wall_seconds: float = 0.0
+    # Wall time spent inside the event loop alone (``network.run``),
+    # excluding network construction and metrics extraction.  This is the
+    # denominator for events-per-second comparisons: construction is a
+    # fixed cost identical across engine implementations, so folding it
+    # in dilutes exactly the property an engine benchmark measures.
+    run_loop_seconds: float = 0.0
     # Fault-injection accounting (all zero/empty for fault-free runs).
     faults_applied: dict[str, int] = field(default_factory=dict)
     fault_packets_killed: int = 0
@@ -195,8 +201,10 @@ def run_scenario(scenario: Scenario, trace_paths: bool = False) -> ExperimentRes
         )
         query.start()
 
+    run_started = time.perf_counter()
     try:
         network.run(until=scenario.duration_s + scenario.drain_s)
+        run_elapsed = time.perf_counter() - run_started
     finally:
         # Flush instrumentation even when a guard aborts the run: a partial
         # trace/heartbeat tail is exactly what a failure post-mortem needs.
@@ -231,6 +239,7 @@ def run_scenario(scenario: Scenario, trace_paths: bool = False) -> ExperimentRes
     result.retransmits = sum(f.retransmits for f in collector.flows)
     result.events = network.scheduler.events_processed
     result.wall_seconds = time.perf_counter() - started
+    result.run_loop_seconds = run_elapsed
     result.collector = collector
     if profiler is not None:
         result.profile = profiler.as_dict()
@@ -258,6 +267,7 @@ _SUM_FIELDS = (
     "retransmits",
     "events",
     "wall_seconds",
+    "run_loop_seconds",
     "fault_packets_killed",
     "invariant_checks",
 )

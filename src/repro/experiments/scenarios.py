@@ -34,7 +34,7 @@ from typing import Optional, Union
 from repro.core.config import DibsConfig
 from repro.core.detour import make_policy
 from repro.net.network import Network, SwitchQueueConfig
-from repro.sim.engine import Scheduler
+from repro.sim.engine import make_scheduler
 from repro.topo import click_testbed, fat_tree, jellyfish, leaf_spine, linear
 from repro.transport.base import TcpConfig
 from repro.transport.pfabric import PFabricConfig
@@ -254,7 +254,7 @@ class Scenario:
             dibs=self.dibs_config(),
             seed=self.seed,
             trace_paths=trace_paths,
-            scheduler=Scheduler(max_pending_events=self.max_pending_events),
+            scheduler=make_scheduler(max_pending_events=self.max_pending_events),
         )
 
 

@@ -9,15 +9,50 @@ delivered to the peer ``delay`` seconds after its last bit leaves.
 Ports also keep the counters the metrics layer consumes (bytes sent, busy
 time) — link utilisation for the hot-link analysis of Figures 4–5 is derived
 from deltas of ``bytes_sent``.
+
+tx-done elision
+---------------
+Transmitting a packet used to cost two scheduler events: a ``_tx_done`` at
+serialization end (frees the transmitter, starts the next packet) and a
+``_deliver`` at serialization end plus propagation (hands the packet to the
+peer).  When the output queue is empty at transmit start, the ``_tx_done``
+is a provable no-op — there is nothing to transmit next, and nothing can
+appear in the queue without passing through :meth:`Port.send` on this same
+port.  Those events are *elided*: the port reserves the event's sequence
+number (:meth:`Scheduler.reserve_seq`) so every later event keeps the exact
+``(time, seq)`` position it would have had, and either
+
+* **settles** the reservation lazily once the scheduler's dispatch position
+  ``(now, now_seq)`` has passed the reserved point — applying the event's
+  only effect (``busy = False``) and counting it in ``events_processed`` —
+  or
+* **materializes** it at its original ``(time, seq)`` via
+  :meth:`Scheduler.schedule_reserved` the moment the no-op proof stops
+  holding (a packet arrives behind the in-progress transmission, or a
+  pause/fault transition needs the event's heap-identical side effects).
+
+Either way the observable simulation — every queue occupancy, ECN mark,
+delivery time and event count — is bit-identical to the engine that
+dispatches every ``_tx_done`` for real; ``benchmarks/bench_engine_speed.py``
+checks exactly that equivalence on every CI pass.  The ``busy`` attribute
+became a property so an external reader always observes the settled state.
+Per-port elision can be disabled (``elide_tx = False``, or exporting
+``REPRO_ELIDE_TX=0`` before network construction) for A/B comparison.
+The flag gates the whole hot-path transmit bundle — elision *and* the
+idle-send queue bypass below — so ``REPRO_ELIDE_TX=0`` restores the seed
+engine's transmit path event for event; that is the "before" arm of
+``benchmarks/bench_engine_speed.py``.
 """
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from typing import Optional
 
 from repro.net.node import Node
 from repro.net.packet import Packet
+from repro.net.queues import DropTailQueue, EcnQueue
 from repro.sim.engine import Scheduler, SimulationError
 
 __all__ = ["Port", "connect"]
@@ -45,12 +80,13 @@ class Port:
         "peer_node",
         "peer_port_index",
         "peer_is_host",
-        "busy",
+        "_busy",
         "paused",
         "up",
         "scheduler",
         "bytes_sent",
         "pkts_sent",
+        "bytes_killed",
         "busy_seconds",
         "drops_link_down",
         "drops_corrupt",
@@ -59,6 +95,12 @@ class Port:
         "_pause_expiry",
         "_in_flight",
         "pauses_received",
+        "_s_per_byte",
+        "_peer_receive",
+        "elide_tx",
+        "_txdone_seq",
+        "_tx_end",
+        "_fast_q",
     )
 
     def __init__(self, node: Node, queue, rate_bps: float, delay_s: float) -> None:
@@ -75,11 +117,15 @@ class Port:
         self.peer_node: Optional[Node] = None
         self.peer_port_index: int = -1
         self.peer_is_host = False
-        self.busy = False
+        self._busy = False
         self.paused = False  # Ethernet flow control (see repro.net.pfc)
         self.up = True  # link fault state (see repro.faults)
         self.bytes_sent = 0
         self.pkts_sent = 0
+        # Full sizes of packets killed mid-flight by set_down() — kept
+        # separate so utilisation (bytes_sent deltas) counts only bytes
+        # that actually crossed the wire.
+        self.bytes_killed = 0
         self.busy_seconds = 0.0
         self.drops_link_down = 0
         self.drops_corrupt = 0
@@ -94,18 +140,49 @@ class Port:
         # propagation delay), so a deque popped at _deliver suffices.
         self._in_flight: deque = deque()
         self.pauses_received = 0
+        # Hot-path hoists: serialization seconds per byte, and the peer's
+        # bound receive method (rebound by attach_peer).
+        self._s_per_byte = 8.0 / rate_bps
+        self._peer_receive = None
+        # tx-done elision state (see module docstring): the reserved
+        # sequence number of the elided event (-1 = none) and the absolute
+        # time the current/last serialization finishes.
+        self.elide_tx = os.environ.get("REPRO_ELIDE_TX", "1") != "0"
+        self._txdone_seq = -1
+        self._tx_end = 0.0
+        # Queues whose enqueue-then-immediate-dequeue round trip is a
+        # provable no-op on an empty queue (no drop below capacity, no
+        # ECN mark at occupancy 1 <= threshold, no shared-pool state):
+        # sends to an idle port skip the queue entirely (see send()).
+        # DynamicBufferQueue is excluded — its admission depends on the
+        # switch-wide pool, so even an empty queue may reject.
+        self._fast_q = type(queue) in (DropTailQueue, EcnQueue)
 
     # ------------------------------------------------------------------
     def attach_peer(self, peer: "Port") -> None:
         self.peer_node = peer.node
         self.peer_port_index = peer.index
         self.peer_is_host = peer.node.is_host
+        self._peer_receive = peer.node.receive
 
     def tx_time(self, pkt: Packet) -> float:
         """Serialisation delay of ``pkt`` on this port."""
-        return pkt.size * 8.0 / self.rate_bps
+        return pkt.size * self._s_per_byte
 
     # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        """Whether the transmitter is serializing a packet.
+
+        A property rather than a raw attribute so that an elided tx-done
+        whose turn has already passed is settled before the flag is read —
+        external readers always observe the same state the heap engine
+        would show.
+        """
+        if self._txdone_seq >= 0:
+            self._settle_tx()
+        return self._busy
+
     @property
     def in_flight(self) -> int:
         """Packets transmitted (or transmitting) but not yet delivered."""
@@ -119,6 +196,7 @@ class Port:
         counters.update(
             bytes_sent=self.bytes_sent,
             pkts_sent=self.pkts_sent,
+            bytes_killed=self.bytes_killed,
             link_down=self.drops_link_down,
             corrupt=self.drops_corrupt,
             pauses_received=self.pauses_received,
@@ -127,17 +205,102 @@ class Port:
         )
         return counters
 
+    # ------------------------------------------------------------------
+    # tx-done elision plumbing (see module docstring)
+    # ------------------------------------------------------------------
+    def _settle_tx(self) -> None:
+        """Apply an elided tx-done whose turn in the ``(time, seq)`` total
+        order has passed.  Its only effect is freeing the transmitter: the
+        output queue is necessarily empty while a reservation is live
+        (any enqueue goes through :meth:`send`, which settles or
+        materializes first), so the heap engine's ``_tx_done`` would have
+        found nothing to transmit."""
+        seq = self._txdone_seq
+        if seq < 0:
+            return
+        sched = self.scheduler
+        te = self._tx_end
+        now = sched.now
+        if now > te or (now == te and sched._now_seq > seq):
+            self._txdone_seq = -1
+            self._busy = False
+            sched._events_elided += 1
+            profiler = sched.profiler
+            if profiler is not None:
+                # Keep profiles summing to the logical event count: the
+                # elided dispatch contributes its event, and (truthfully)
+                # zero wall time, to the link.tx category.
+                profiler.record(self._tx_next, 0.0)
+
+    def _materialize_tx(self) -> None:
+        """Re-insert the elided tx-done at its reserved ``(time, seq)``
+        position — called when its no-op proof stops holding."""
+        seq = self._txdone_seq
+        self._txdone_seq = -1
+        self.scheduler.schedule_reserved(self._tx_end, seq, self._tx_next)
+
+    # ------------------------------------------------------------------
     def send(self, pkt: Packet) -> bool:
         """Enqueue ``pkt`` for transmission.  Returns ``False`` on tail drop
         (or, for a down port, a recorded ``link_down`` drop)."""
         if not self.up:
             self.drops_link_down += 1
             return False
-        if not self.queue.enqueue(pkt):
+        seqr = self._txdone_seq
+        if seqr >= 0:
+            # Inline settle (see _settle_tx): an idle port with a passed
+            # elided tx-done still reads ``_busy`` until settled — do it
+            # before the fast-path test so the idle case is recognized.
+            sched = self.scheduler
+            te = self._tx_end
+            now = sched.now
+            if now > te or (now == te and sched._now_seq > seqr):
+                self._txdone_seq = -1
+                self._busy = False
+                sched._events_elided += 1
+                if sched.profiler is not None:
+                    sched.profiler.record(self._tx_next, 0.0)
+        queue = self.queue
+        if (self.elide_tx and not self._busy and not self.paused and self._fast_q
+                and not queue._q and self.on_queue_change is None):
+            # Fast path (the common case under light-to-moderate load):
+            # idle transmitter, empty droptail/ECN queue, no occupancy
+            # observer.  The enqueue-then-dequeue round trip would be a
+            # no-op — below capacity nothing drops, and at occupancy 1
+            # nothing marks (the ECN threshold is >= 1 by construction)
+            # — so the packet goes straight to the transmitter.
+            # ``enqueues`` is still counted: observably the packet
+            # passed through the queue.
+            queue.enqueues += 1
+            self._busy = True
+            size = pkt.size
+            tx = size * self._s_per_byte
+            self.bytes_sent += size
+            self.pkts_sent += 1
+            self.busy_seconds += tx
+            sched = self.scheduler
+            self._tx_end = sched.now + tx
+            # Inlined Scheduler.reserve_seq (hot path; this whole branch is
+            # gated on elide_tx, so the tx-done is always elided here).
+            seq = sched._seq
+            sched._seq = seq + 1
+            self._txdone_seq = seq
+            self._in_flight.append(
+                (sched.schedule_once(tx + self.delay_s, self._deliver, pkt), pkt))
+            return True
+        if not queue.enqueue(pkt):
             return False
         if self.on_queue_change is not None:
             self.on_queue_change(self)
-        if not self.busy and not self.paused:
+        seqr = self._txdone_seq
+        if seqr >= 0:
+            # The queue is no longer empty and the elided tx-done's turn
+            # has not passed (it would have settled above): it is no
+            # longer a no-op — put it back on the calendar (inlined
+            # _materialize_tx, hot under sustained load).
+            self._txdone_seq = -1
+            self.scheduler.schedule_reserved(self._tx_end, seqr, self._tx_next)
+        if not self._busy and not self.paused:
             self._tx_next()
         return True
 
@@ -154,7 +317,7 @@ class Port:
             self._pause_expiry.cancel()
             self._pause_expiry = None
         if duration_s is not None:
-            self._pause_expiry = self.scheduler.schedule(duration_s, self.resume)
+            self._pause_expiry = self.scheduler.schedule_once(duration_s, self.resume)
 
     def resume(self) -> None:
         """Resume transmission (PFC XON or PAUSE expiry)."""
@@ -164,35 +327,68 @@ class Port:
         if not self.paused:
             return
         self.paused = False
-        if not self.busy:
+        if self._txdone_seq >= 0:
+            self._settle_tx()
+            if self._txdone_seq >= 0:
+                self._materialize_tx()
+        if not self._busy:
             self._tx_next()
 
     def _tx_next(self) -> None:
         if self.paused or not self.up:
-            self.busy = False
+            self._busy = False
             return
-        pkt = self.queue.dequeue()
-        if pkt is None:
-            self.busy = False
+        queue = self.queue
+        if self._fast_q and self.elide_tx:
+            # Inlined DropTailQueue.dequeue (hot: once per transmitted
+            # packet).  Part of the elide_tx hot-path bundle so that
+            # REPRO_ELIDE_TX=0 keeps the seed's dequeue call; the
+            # DynamicBufferQueue always keeps the method call — its
+            # dequeue also releases shared-pool bytes.
+            q = queue._q
+            if not q:
+                self._busy = False
+                return
+            pkt = q.popleft()
+            queue.byte_count -= pkt.size
+        elif (pkt := queue.dequeue()) is None:
+            self._busy = False
             return
         if self.on_queue_change is not None:
             self.on_queue_change(self)
-        self.busy = True
-        tx = self.tx_time(pkt)
-        self.bytes_sent += pkt.size
+        self._busy = True
+        size = pkt.size
+        tx = size * self._s_per_byte
+        self.bytes_sent += size
         self.pkts_sent += 1
         self.busy_seconds += tx
-        self.scheduler.schedule(tx, self._tx_done)
-        delivery = self.scheduler.schedule(tx + self.delay_s, self._deliver, pkt)
+        sched = self.scheduler
+        self._tx_end = sched.now + tx
+        if self.elide_tx and not queue._q:
+            # Nothing left to transmit when serialization ends: elide the
+            # tx-done (reserve its sequence number so the total order is
+            # unchanged) instead of dispatching a no-op event.  Inlined
+            # Scheduler.reserve_seq (hot path).
+            seq = sched._seq
+            sched._seq = seq + 1
+            self._txdone_seq = seq
+        else:
+            # The tx-done callback IS _tx_next: the transmitter frees up
+            # when the last bit leaves and immediately starts the next
+            # packet; propagation of the in-flight packet continues
+            # independently.
+            sched.schedule_once(tx, self._tx_next)
+        delivery = sched.schedule_once(tx + self.delay_s, self._deliver, pkt)
         self._in_flight.append((delivery, pkt))
 
     def _tx_done(self) -> None:
-        # The transmitter frees up when the last bit leaves; propagation of
-        # the in-flight packet continues independently.
+        # Kept as a named alias (tests and older call sites reference it);
+        # hot paths schedule _tx_next directly.
         self._tx_next()
 
     def _deliver(self, pkt: Packet) -> None:
-        if self.peer_node is None:
+        receive = self._peer_receive
+        if receive is None:
             # A real error, not an assert: a miswired topology must fail
             # loudly even under ``python -O`` (which strips asserts).
             raise SimulationError(
@@ -205,7 +401,7 @@ class Port:
             self.corrupt_next -= 1
             self.drops_corrupt += 1
             return
-        self.peer_node.receive(pkt, self.peer_port_index)
+        receive(pkt, self.peer_port_index)
 
     # ------------------------------------------------------------------
     # fault state (driven by repro.faults.FaultInjector)
@@ -216,16 +412,40 @@ class Port:
         New sends are rejected (counted as ``link_down`` drops), queued
         packets stay parked until recovery, and packets already propagating
         are killed mid-flight (their deliveries cancelled and counted as
-        ``link_down`` drops).  Returns the number of packets killed.
+        ``link_down`` drops).  The utilisation counters credited at
+        transmit start are corrected for the packet caught mid-serialization
+        (its untransmitted remainder never crossed the wire), and the full
+        size of every killed packet is tallied in ``bytes_killed``.
+        Returns the number of packets killed.
         """
         if not self.up:
             return 0
+        if self._txdone_seq >= 0:
+            # Keep the heap engine's event-for-event behaviour: its pending
+            # tx-done fires on the (now down) port and clears ``busy``.
+            self._settle_tx()
+            if self._txdone_seq >= 0:
+                self._materialize_tx()
         self.up = False
+        now = self.scheduler.now
+        if self._busy and self._in_flight and now < self._tx_end:
+            # The newest in-flight packet is still serializing: back out
+            # the part of its transmit-start credit that never made it
+            # onto the wire.  (Counted in whole bytes; the sub-byte
+            # truncation is below measurement granularity.)
+            _ev, tail_pkt = self._in_flight[-1]
+            remainder_s = self._tx_end - now
+            undo = int(remainder_s * self.rate_bps / 8.0)
+            if undo > tail_pkt.size:
+                undo = tail_pkt.size
+            self.bytes_sent -= undo
+            self.busy_seconds -= remainder_s
         killed = 0
         while self._in_flight:
-            delivery, _pkt = self._in_flight.popleft()
+            delivery, pkt = self._in_flight.popleft()
             delivery.cancel()
             self.drops_link_down += 1
+            self.bytes_killed += pkt.size
             killed += 1
         return killed
 
@@ -234,7 +454,11 @@ class Port:
         if self.up:
             return
         self.up = True
-        if not self.busy and not self.paused:
+        if self._txdone_seq >= 0:
+            self._settle_tx()
+            if self._txdone_seq >= 0:
+                self._materialize_tx()
+        if not self._busy and not self.paused:
             self._tx_next()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

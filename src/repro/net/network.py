@@ -33,7 +33,7 @@ from repro.net.queues import (
 )
 from repro.net.switch import Switch
 from repro.routing.fib import compute_fibs
-from repro.sim.engine import Scheduler
+from repro.sim.engine import Scheduler, make_scheduler
 from repro.sim.rng import RngFactory
 from repro.topo.base import Topology
 from repro.transport.base import FlowHandle, TcpConfig, dctcp_config, dibs_host_config
@@ -131,7 +131,7 @@ class Network:
         self.topo = topo
         self.switch_queues = switch_queues if switch_queues is not None else SwitchQueueConfig()
         self.dibs = dibs if dibs is not None else DibsConfig.disabled()
-        self.scheduler = scheduler if scheduler is not None else Scheduler()
+        self.scheduler = scheduler if scheduler is not None else make_scheduler()
         self.rngs = RngFactory(seed)
         self.collector = MetricsCollector()
         self.trace_paths = trace_paths
@@ -164,6 +164,11 @@ class Network:
             )
 
         self.counter_registry = self._build_counter_registry()
+        # Flat tuple of every port, for the post-run settle sweep in run()
+        # (topology is immutable once built).
+        self._all_ports: tuple = tuple(
+            port for node in self._nodes.values() for port in node.ports
+        )
 
     # ------------------------------------------------------------------
     # construction
@@ -415,7 +420,17 @@ class Network:
         return self.scheduler.now
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
-        return self.scheduler.run(until=until, max_events=max_events)
+        processed = self.scheduler.run(until=until, max_events=max_events)
+        # Settle or re-materialize every elided tx-done the run left
+        # behind (see repro.net.link): afterwards port state and the
+        # logical events_processed count are exactly what an engine
+        # dispatching every event would report at this horizon.
+        for port in self._all_ports:
+            if port._txdone_seq >= 0:
+                port._settle_tx()
+                if port._txdone_seq >= 0:
+                    port._materialize_tx()
+        return processed
 
     def total_detours(self) -> int:
         """DIBS detours across all switches.

@@ -24,7 +24,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Optional
 
-from repro.net.packet import Packet
+from repro.net.packet import MTU_BYTES, Packet
 
 __all__ = [
     "DropTailQueue",
@@ -60,18 +60,21 @@ class DropTailQueue:
         return len(self._q) >= self.capacity_pkts
 
     def enqueue(self, pkt: Packet) -> bool:
-        if len(self._q) >= self.capacity_pkts:
+        # Hot path (one call per hop per packet): a single _q load.
+        q = self._q
+        if len(q) >= self.capacity_pkts:
             self.drops += 1
             return False
-        self._q.append(pkt)
+        q.append(pkt)
         self.byte_count += pkt.size
         self.enqueues += 1
         return True
 
     def dequeue(self) -> Optional[Packet]:
-        if not self._q:
+        q = self._q
+        if not q:
             return None
-        pkt = self._q.popleft()
+        pkt = q.popleft()
         self.byte_count -= pkt.size
         return pkt
 
@@ -118,13 +121,17 @@ class EcnQueue(DropTailQueue):
         self.marks = 0
 
     def enqueue(self, pkt: Packet) -> bool:
-        if len(self._q) >= self.capacity_pkts:
+        # Hot path: occupancy is read once for both the drop and the mark
+        # decision (the mark compares occupancy *including* this packet).
+        q = self._q
+        n = len(q)
+        if n >= self.capacity_pkts:
             self.drops += 1
             return False
-        if pkt.ecn_capable and len(self._q) + 1 > self.mark_threshold_pkts:
+        if pkt.ecn_capable and n + 1 > self.mark_threshold_pkts:
             pkt.ecn_ce = True
             self.marks += 1
-        self._q.append(pkt)
+        q.append(pkt)
         self.byte_count += pkt.size
         self.enqueues += 1
         return True
@@ -274,8 +281,6 @@ class DynamicBufferQueue:
 
     def is_full(self) -> bool:
         # "Full" for DIBS purposes means DBA would reject a full-MTU packet.
-        from repro.net.packet import MTU_BYTES
-
         return not self.pool.admits(self.byte_count, MTU_BYTES, len(self._q))
 
     def enqueue(self, pkt: Packet) -> bool:
@@ -308,8 +313,6 @@ class DynamicBufferQueue:
 
     @property
     def capacity_hint(self) -> int:
-        from repro.net.packet import MTU_BYTES
-
         return max(1, self.pool.total_bytes // MTU_BYTES)
 
     def counter_dict(self) -> dict[str, int]:

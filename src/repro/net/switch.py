@@ -22,6 +22,7 @@ import random
 from typing import Callable, Optional
 
 from repro.core.config import DibsConfig
+from repro.core.detour import DetourPolicy
 from repro.net.link import Port
 from repro.net.node import Node
 from repro.net.packet import Packet
@@ -135,6 +136,15 @@ class Switch(Node):
         self.failed = False  # crashed switch (repro.faults SwitchFail)
         self.hop_limit = DEFAULT_HOP_LIMIT
         self.counters = SwitchCounters()
+        # Hot-path specialization: every shipped policy except the
+        # probabilistic one inherits the base trigger — "is the desired
+        # queue full" — so that case is resolved once here and the
+        # per-packet path skips the policy dispatch entirely.  A policy
+        # overriding should_detour keeps the dynamic call.
+        self._plain_detour = (
+            self.dibs.enabled
+            and type(self.dibs.policy).should_detour is DetourPolicy.should_detour
+        )
         self.on_detour: Optional[Callable[[float, "Switch", Packet], None]] = None
         self.on_drop: Optional[Callable[[float, "Switch", Packet, str], None]] = None
 
@@ -218,7 +228,17 @@ class Switch(Node):
             out_index = next_hops[self._spray_counter % len(next_hops)]
         desired = self.ports[out_index]
 
-        if self.dibs.enabled and self.dibs.policy.should_detour(pkt, desired, self.rng):
+        if self._plain_detour:
+            # Inlined default trigger (== desired.queue.is_full()).
+            q = desired.queue
+            if desired._fast_q:
+                full = len(q._q) >= q.capacity_pkts
+            else:
+                full = q.is_full()
+            if full:
+                self._detour(pkt, desired, in_port)
+                return
+        elif self.dibs.enabled and self.dibs.policy.should_detour(pkt, desired, self.rng):
             self._detour(pkt, desired, in_port)
             return
 

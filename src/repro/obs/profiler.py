@@ -25,6 +25,12 @@ the 5% budget, while the sampled loop's per-event cost is a local
 countdown decrement.  ``sample_stride=1`` selects the exact loop — one
 clock read per event, each event charged from the previous event's end —
 when per-event precision is worth ~10-15% overhead.
+
+Elided tx-done events (see :mod:`repro.net.link`) never reach a run loop;
+the port settles them by calling :meth:`SchedulerProfiler.record` with a
+truthful zero wall time, so category event counts still sum to the
+engine-independent logical ``events_processed`` while the wall split
+reflects only work that actually happened.
 """
 
 from __future__ import annotations

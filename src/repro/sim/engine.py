@@ -1,28 +1,69 @@
 """Discrete-event simulation engine.
 
-The engine is a classic calendar of timestamped events backed by a binary
-heap.  Everything else in the simulator (links, switches, transports,
-workload generators) schedules callbacks on a single :class:`Scheduler`.
+The engine is a calendar of timestamped events backed by a **calendar
+queue** (Brown 1988): a ring of time buckets plus an overflow band, sized
+so that in the simulator's steady state an insert is an O(1) append and a
+pop is an O(1) list index.  Everything else in the simulator (links,
+switches, transports, workload generators) schedules callbacks on a single
+:class:`Scheduler`.
+
+Why a calendar queue beats the old binary heap here: event times cluster
+within a few RTTs of ``now`` (serialization times and propagation delays
+bound how far ahead anything schedules), which is exactly the regime where
+bucketed insertion wins — a heap pays O(log n) comparisons per push *and*
+per pop, and with a pure-Python ``Event.__lt__`` each comparison is a
+Python call.  The calendar does no comparisons at all on the fast path.
 
 Design notes
 ------------
 * Time is a float, in **seconds** of simulated time.
 * Events scheduled for the same timestamp fire in FIFO order of scheduling
-  (a monotonically increasing sequence number breaks heap ties), which makes
-  runs fully deterministic.
-* Cancellation is O(1): the event is flagged and skipped when popped.  A
-  live count of cancelled-but-not-yet-popped events makes :attr:`pending`
-  O(1) too, so watchdogs and heartbeats can poll it every few thousand
-  events without an O(heap) scan.
+  (a monotonically increasing sequence number breaks ties), which makes
+  runs fully deterministic.  The total order is exactly ``(time, seq)`` —
+  identical to the heap implementation, so identical seeds produce
+  bit-identical results (``repro.sim.engine_heap`` keeps the heap engine
+  alive for A/A comparison; select it with ``REPRO_ENGINE=heap`` via
+  :func:`make_scheduler`).
+* Cancellation is O(1): the event is flagged and skipped when consumed.  A
+  live count of cancelled-but-not-yet-consumed events makes
+  :attr:`pending` O(1) too, so watchdogs and heartbeats can poll it every
+  few thousand events without an O(calendar) scan.
 * Observability hooks (:meth:`add_hook`, :attr:`profiler`) are structured
   so that the *disabled* state costs nothing beyond the pre-existing loop:
   the profiled run loop is a separate code path selected once per
   :meth:`run`, never a per-event branch.
+* Settled fire-and-forget events (scheduled via :meth:`schedule_once`)
+  are recycled through a freelist, eliminating the dominant per-event
+  allocation on the link hot path.  Only events whose handle never
+  escapes the scheduler/port machinery are recycled, so a stale external
+  handle can never cancel a recycled (reused) event.
+
+Calendar layout
+---------------
+``_buckets`` is a fixed ring of ``_NBUCKETS`` lists covering the window
+``[_wstart, _wstart + _NBUCKETS * _width)``.  An event at time ``t`` lands
+in bucket ``int((t - _wstart) * _inv_width)``; float subtraction, multiply
+and truncation are all monotone non-decreasing in ``t``, so bucket indices
+can never invert the time order.  Inserts into an already-being-consumed
+bucket (index <= ``_cur``) go through ``bisect.insort`` keyed on
+``(time, seq)`` — the current bucket is kept sorted, and because every new
+event satisfies ``(t, s) > (now, now_seq)`` the insertion point is always
+at or after the consumption cursor.  Later buckets take a plain append and
+are sorted once, when the consumer reaches them.  Events beyond the window
+go to ``_overflow``, a heap of ``(time, seq, event)`` tuples (tuple
+comparison stays in C).  When the ring drains, the window is rebuilt at
+the overflow head and the bucket width re-derived from the observed mean
+inter-event gap of the window just consumed (clamped to a 4x change per
+rollover), so the calendar adapts to the workload's event density without
+any configuration.
 """
 
 from __future__ import annotations
 
-import heapq
+import os
+from bisect import insort
+from heapq import heappop, heappush
+from operator import attrgetter
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -35,15 +76,44 @@ __all__ = [
     "LivelockError",
     "ResourceError",
     "DEFAULT_MAX_PENDING_EVENTS",
+    "make_scheduler",
 ]
 
 # Upper bound on the pending-event calendar before a run is declared
-# runaway.  Five million heap entries is roughly half a gigabyte of Event
+# runaway.  Five million entries is roughly half a gigabyte of Event
 # objects — far beyond anything a healthy scenario schedules (the biggest
 # full-scale sweeps stay under a few hundred thousand pending events), but
 # comfortably below the point where the OOM killer takes out the worker
 # process without leaving a diagnostic behind.
 DEFAULT_MAX_PENDING_EVENTS = 5_000_000
+
+# Calendar-queue geometry.  1024 buckets of adaptive width; anything past
+# the window parks in the overflow heap until a window rollover brings it
+# into the ring.  Power-of-two size is cosmetic (no masking is used — the
+# window does not wrap), what matters is that NBUCKETS * width comfortably
+# covers the few-RTT band where nearly all events land.
+_NBUCKETS = 1024
+_MIN_WIDTH = 1e-12
+_MAX_WIDTH = 1.0
+_INITIAL_WIDTH = 1e-6
+# Re-derive the width only from windows that consumed enough events for
+# the mean gap to be a signal, and aim for ~4 events per bucket.
+_WIDTH_MIN_SAMPLE = 64
+_WIDTH_EVENTS_PER_BUCKET = 4.0
+
+_ORDER = attrgetter("time", "seq")
+# Bisect key for *fresh* inserts: a freshly issued event holds the highest
+# sequence number in existence, so among equal times it belongs after every
+# resident entry — exactly where a right-bisect on time alone lands it,
+# without building a (time, seq) tuple per probe.  Only
+# ``schedule_reserved`` re-inserts an *old* sequence number and must bisect
+# on the full key.
+_TIME = attrgetter("time")
+
+# Run-loop sentinels: an unset horizon/budget becomes a value no event can
+# exceed, so the per-event bound checks are single comparisons.
+_INF = float("inf")
+_NO_LIMIT = 1 << 62
 
 
 class SimulationError(RuntimeError):
@@ -53,14 +123,14 @@ class SimulationError(RuntimeError):
 class ResourceError(SimulationError):
     """The simulation exceeded a resource budget (event-queue pressure).
 
-    Raised by :meth:`Scheduler.schedule_at` when the pending-event heap
+    Raised by :meth:`Scheduler.schedule_at` when the pending-event calendar
     grows past ``max_pending_events``.  A run that schedules events faster
     than it can consume them (a feedback loop amplifying packets, a
     workload generator stuck re-arming itself) would otherwise grow the
-    heap until the kernel OOM-kills the worker — losing the traceback and
-    surfacing as an inscrutable crash.  Aborting deterministically keeps
-    the failure inside the run, where the experiment executor can record
-    it (and, with a journal attached, write a replay bundle).
+    calendar until the kernel OOM-kills the worker — losing the traceback
+    and surfacing as an inscrutable crash.  Aborting deterministically
+    keeps the failure inside the run, where the experiment executor can
+    record it (and, with a journal attached, write a replay bundle).
     """
 
 
@@ -85,9 +155,14 @@ class Event:
     The ``cancelled`` flag doubles as a *settled* marker: the run loop sets
     it when the event fires, so cancelling an event that already executed
     is a no-op and the scheduler's live pending count stays exact.
+
+    ``recyclable`` marks events created by :meth:`Scheduler.schedule_once`
+    (fire-and-forget paths whose handle never escapes): once settled, the
+    run loop returns them to a freelist for reuse instead of allocating a
+    fresh object per event.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "sched")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "sched", "recyclable")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple,
                  sched: Optional["Scheduler"] = None):
@@ -97,6 +172,7 @@ class Event:
         self.args = args
         self.cancelled = False
         self.sched = sched
+        self.recyclable = False
 
     def cancel(self) -> None:
         """Mark this event so the scheduler skips it (no-op once settled)."""
@@ -118,7 +194,7 @@ class Event:
 
 
 class Scheduler:
-    """Single-threaded discrete-event scheduler.
+    """Single-threaded discrete-event scheduler (calendar-queue backed).
 
     Usage::
 
@@ -127,20 +203,33 @@ class Scheduler:
         sched.run(until=1.0)
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_events_processed", "_running",
-                 "watchdog", "watchdog_interval_events", "max_pending_events",
-                 "profiler", "_hooks", "_cancelled_pending")
+    __slots__ = ("now", "_seq", "_now_seq", "_events_processed", "_events_elided",
+                 "_running", "watchdog", "watchdog_interval_events",
+                 "_cap", "profiler", "_hooks", "_cancelled_pending",
+                 "_buckets", "_cur", "_pos", "_wstart", "_width", "_inv_width",
+                 "_overflow", "_count", "_free", "_win_base")
 
     def __init__(self, max_pending_events: Optional[int] = DEFAULT_MAX_PENDING_EVENTS) -> None:
         self.now: float = 0.0
-        self._heap: list[Event] = []
         self._seq: int = 0
+        # Sequence number of the most recently dispatched event: together
+        # with ``now`` it pins the scheduler's position in the (time, seq)
+        # total order, which is what lets ports elide events whose turn
+        # has provably passed (see repro.net.link.Port._settle_tx).
+        self._now_seq: int = -1
         self._events_processed: int = 0
+        # Events whose execution was elided as a no-op by the port layer
+        # but which the heap engine would have dispatched; counted so
+        # ``events_processed`` stays engine-independent.
+        self._events_elided: int = 0
         self._running: bool = False
-        # Cancelled events still sitting in the heap; pending = len(heap) - this.
+        # Cancelled events still sitting in the calendar;
+        # pending = _count - this.
         self._cancelled_pending: int = 0
         # Event-queue pressure guard: ``None`` (or 0) disables it.
-        self.max_pending_events: Optional[int] = max_pending_events or None
+        # Stored as the ``_cap`` sentinel (see max_pending_events property)
+        # so the hot schedule paths test it with a single comparison.
+        self.max_pending_events = max_pending_events
         # Optional progress guard: ``watchdog(self)`` is invoked from the
         # run loop every ``watchdog_interval_events`` processed events.  It
         # must run *inside* the loop (not as a scheduled event) because a
@@ -157,30 +246,219 @@ class Scheduler:
         # ``None`` selects the plain run loop; the disabled state costs
         # nothing per event.
         self.profiler: Optional["SchedulerProfiler"] = None
+        # --- calendar-queue state (see module docstring) ---
+        self._buckets: list[list[Event]] = [[] for _ in range(_NBUCKETS)]
+        self._cur: int = 0          # bucket currently being consumed
+        self._pos: int = 0          # consumption cursor within that bucket
+        self._wstart: float = 0.0   # absolute time of bucket 0's left edge
+        self._width: float = _INITIAL_WIDTH
+        self._inv_width: float = 1.0 / _INITIAL_WIDTH
+        self._overflow: list[tuple[float, int, Event]] = []
+        # Live entries anywhere in the calendar (ring past the cursor plus
+        # overflow), including cancelled-but-not-consumed ones.
+        self._count: int = 0
+        self._free: list[Event] = []      # settled recyclable events
+        self._win_base: int = 0           # _events_processed at window start
 
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------
+    def _insert(self, ev: Event) -> None:
+        """Place ``ev`` into the calendar.  The caller has validated the
+        time and bumped ``_count``/``_seq``."""
+        idx = int((ev.time - self._wstart) * self._inv_width)
+        if idx < _NBUCKETS:
+            cur = self._cur
+            if idx <= cur:
+                # The target bucket is (or is behind) the one being
+                # consumed; clamp into the current bucket, whose live
+                # suffix is kept sorted.  Any event landing here satisfies
+                # (time, seq) > (now, now_seq), so the insertion point is
+                # at or after the consumption cursor; bisecting from
+                # ``lo=self._pos`` also keeps recycled settled entries in
+                # the consumed prefix out of the comparison.
+                insort(self._buckets[cur], ev, key=_ORDER, lo=self._pos)
+            else:
+                self._buckets[idx].append(ev)
+        else:
+            heappush(self._overflow, (ev.time, ev.seq, ev))
+
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        # The insert logic is inlined here (and in schedule_at /
+        # schedule_once) rather than delegating through _insert: this is
+        # the hottest entry point in the simulator and each intermediate
+        # Python call costs a measurable fraction of the event budget.
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        return self.schedule_at(self.now + delay, fn, *args)
+        time = self.now + delay
+        count = self._count + 1
+        if count > self._cap:
+            self._overpressure(fn, time)
+        self._count = count
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            ev = free.pop()
+            ev.time = time
+            ev.seq = seq
+            ev.fn = fn
+            ev.args = args
+            ev.cancelled = False
+            ev.recyclable = False
+        else:
+            ev = Event(time, seq, fn, args, self)
+        idx = int((time - self._wstart) * self._inv_width)
+        if idx < _NBUCKETS:
+            cur = self._cur
+            if idx > cur:
+                self._buckets[idx].append(ev)
+            else:
+                # Bisect only the live suffix: entries before the
+                # consumption cursor are settled and may be recycled
+                # Event objects whose (time, seq) now belong to a later
+                # incarnation — their keys must never be compared.
+                insort(self._buckets[cur], ev, key=_TIME, lo=self._pos)
+        else:
+            heappush(self._overflow, (time, seq, ev))
+        return ev
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` at absolute simulated ``time``."""
         if time < self.now:
             raise SimulationError(f"cannot schedule into the past: {time} < {self.now}")
-        if self.max_pending_events is not None and len(self._heap) >= self.max_pending_events:
-            raise ResourceError(
-                f"event queue exceeded {self.max_pending_events} pending events at "
-                f"t={self.now:.9f}s ({self._events_processed} processed) while scheduling "
-                f"{getattr(fn, '__qualname__', fn)} for t={time:.9f}s — runaway scheduling "
-                f"loop aborted before the process runs out of memory"
-            )
-        ev = Event(time, self._seq, fn, args, self)
-        self._seq += 1
-        heapq.heappush(self._heap, ev)
+        count = self._count + 1
+        if count > self._cap:
+            self._overpressure(fn, time)
+        self._count = count
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            ev = free.pop()
+            ev.time = time
+            ev.seq = seq
+            ev.fn = fn
+            ev.args = args
+            ev.cancelled = False
+            ev.recyclable = False
+        else:
+            ev = Event(time, seq, fn, args, self)
+        idx = int((time - self._wstart) * self._inv_width)
+        if idx < _NBUCKETS:
+            cur = self._cur
+            if idx > cur:
+                self._buckets[idx].append(ev)
+            else:
+                # Bisect only the live suffix: entries before the
+                # consumption cursor are settled and may be recycled
+                # Event objects whose (time, seq) now belong to a later
+                # incarnation — their keys must never be compared.
+                insort(self._buckets[cur], ev, key=_TIME, lo=self._pos)
+        else:
+            heappush(self._overflow, (time, seq, ev))
+        return ev
+
+    def schedule_once(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Like :meth:`schedule`, but the returned handle must not outlive
+        the port/scheduler machinery that created it: once the event
+        settles (fires or is consumed cancelled) the object is recycled
+        for a future schedule.  Callers that keep the handle only until
+        they cancel it (and drop it at settle time) qualify; anything
+        that might cancel *after* the event fired must use
+        :meth:`schedule` instead, or a recycled (reused) event could be
+        killed through the stale handle."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        time = self.now + delay
+        count = self._count + 1
+        if count > self._cap:
+            self._overpressure(fn, time)
+        self._count = count
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            # The freelist only ever holds recyclable events (the run
+            # loops recycle nothing else), so ``recyclable`` is already
+            # True on the popped object.
+            ev = free.pop()
+            ev.time = time
+            ev.seq = seq
+            ev.fn = fn
+            ev.args = args
+            ev.cancelled = False
+        else:
+            ev = Event(time, seq, fn, args, self)
+            ev.recyclable = True
+        idx = int((time - self._wstart) * self._inv_width)
+        if idx < _NBUCKETS:
+            cur = self._cur
+            if idx > cur:
+                self._buckets[idx].append(ev)
+            else:
+                # Bisect only the live suffix: entries before the
+                # consumption cursor are settled and may be recycled
+                # Event objects whose (time, seq) now belong to a later
+                # incarnation — their keys must never be compared.
+                insort(self._buckets[cur], ev, key=_TIME, lo=self._pos)
+        else:
+            heappush(self._overflow, (time, seq, ev))
+        return ev
+
+    def _overpressure(self, fn: Callable[..., Any], time: float) -> None:
+        raise ResourceError(
+            f"event queue exceeded {self.max_pending_events} pending events at "
+            f"t={self.now:.9f}s ({self._events_processed} processed) while scheduling "
+            f"{getattr(fn, '__qualname__', fn)} for t={time:.9f}s — runaway scheduling "
+            f"loop aborted before the process runs out of memory"
+        )
+
+    def reserve_seq(self) -> int:
+        """Claim the next sequence number *without* inserting an event.
+
+        This is the elision primitive: a caller that knows an event would
+        be a no-op (see ``Port._tx_next``) reserves its place in the
+        ``(time, seq)`` total order so every later event keeps the exact
+        sequence number it would have had under the heap engine, then
+        either settles the reservation once its turn has passed or
+        materializes it via :meth:`schedule_reserved`.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        return seq
+
+    def schedule_reserved(self, time: float, seq: int, fn: Callable[..., Any],
+                          *args: Any) -> Event:
+        """Materialize a previously :meth:`reserve_seq`-ed event at its
+        original ``(time, seq)`` position.  Used when the condition that
+        justified eliding the event stops holding (e.g. a packet arrives
+        behind an in-progress transmission)."""
+        if time < self.now:
+            raise SimulationError(f"cannot schedule into the past: {time} < {self.now}")
+        self._count += 1
+        free = self._free
+        if free:
+            ev = free.pop()  # freelist events are recyclable already
+            ev.time = time
+            ev.seq = seq
+            ev.fn = fn
+            ev.args = args
+            ev.cancelled = False
+        else:
+            ev = Event(time, seq, fn, args, self)
+            ev.recyclable = True
+        idx = int((time - self._wstart) * self._inv_width)
+        if idx < _NBUCKETS:
+            cur = self._cur
+            if idx > cur:
+                self._buckets[idx].append(ev)
+            else:
+                # Bisect only the live suffix (see schedule).
+                insort(self._buckets[cur], ev, key=_ORDER, lo=self._pos)
+        else:
+            heappush(self._overflow, (time, seq, ev))
         return ev
 
     @staticmethod
@@ -230,10 +508,85 @@ class Scheduler:
         return states
 
     # ------------------------------------------------------------------
+    # calendar maintenance
+    # ------------------------------------------------------------------
+    def _advance(self) -> Optional[Event]:
+        """Move past the exhausted current bucket and return the head
+        event of the next non-empty one (``None`` when the calendar is
+        drained).  Leaves ``_cur``/``_pos`` pointing at the returned
+        event.  The caller must have flushed its local consumption
+        cursor into ``_pos`` and its event-count delta into
+        ``_events_processed`` (the width adaptation reads it)."""
+        buckets = self._buckets
+        buckets[self._cur].clear()
+        count = self._count
+        overflow = self._overflow
+        if count == len(overflow):
+            # Ring is empty: everything live sits in the overflow band.
+            if not overflow:
+                self._pos = 0
+                return None
+            self._new_window()
+        else:
+            cur = self._cur + 1
+            while not buckets[cur]:
+                cur += 1
+            self._cur = cur
+        bucket = buckets[self._cur]
+        if len(bucket) > 1:
+            bucket.sort(key=_ORDER)
+        self._pos = 0
+        return bucket[0]
+
+    def _new_window(self) -> None:
+        """Rebuild the bucket window at the overflow head and refill the
+        ring from the overflow band.
+
+        The new width targets ``_WIDTH_EVENTS_PER_BUCKET`` events per
+        bucket based on the mean inter-event gap observed over the window
+        just consumed; the change is damped to a factor of four per
+        rollover and clamped to global bounds, so one odd window cannot
+        destroy the calendar's geometry.  Everything here is a pure
+        function of the event stream, so runs stay deterministic.
+        """
+        consumed = self._events_processed - self._win_base
+        if consumed >= _WIDTH_MIN_SAMPLE:
+            span = self.now - self._wstart
+            if span > 0.0:
+                width = self._width
+                est = (span / consumed) * _WIDTH_EVENTS_PER_BUCKET
+                hi = width * 4.0
+                lo = width * 0.25
+                if est > hi:
+                    est = hi
+                elif est < lo:
+                    est = lo
+                if est < _MIN_WIDTH:
+                    est = _MIN_WIDTH
+                elif est > _MAX_WIDTH:
+                    est = _MAX_WIDTH
+                self._width = est
+                self._inv_width = 1.0 / est
+        self._win_base = self._events_processed
+        overflow = self._overflow
+        wstart = self._wstart = overflow[0][0]
+        self._cur = 0
+        buckets = self._buckets
+        inv_width = self._inv_width
+        pop = heappop
+        # heappop yields ascending (time, seq), so each bucket receives
+        # its refill already sorted — the later bucket.sort() is O(n).
+        while overflow:
+            idx = int((overflow[0][0] - wstart) * inv_width)
+            if idx >= _NBUCKETS:
+                break
+            buckets[idx].append(pop(overflow)[2])
+
+    # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
-        """Run events until the heap drains, ``until`` is passed, or
+        """Run events until the calendar drains, ``until`` is passed, or
         ``max_events`` have been processed.  Returns events processed.
         """
         if self._running:
@@ -248,45 +601,111 @@ class Scheduler:
                 processed = self._run_profiled(until, max_events)
         finally:
             self._running = False
-        if until is not None and self.now < until and (max_events is None or processed < max_events):
-            # Advance the clock to the requested horizon even if we ran dry.
-            self.now = until
+        if max_events is None or processed < max_events:
+            # The loop stopped because it drained or passed the horizon:
+            # every event ordered at or before (now, any seq) has been
+            # dispatched, so the order position advances past all sequence
+            # numbers issued so far.  Elided reservations at exactly
+            # ``until`` rely on this (see Port._settle_tx).
+            self._now_seq = self._seq
+            if until is not None and self.now < until:
+                # Advance the clock to the requested horizon even if dry.
+                self.now = until
         return processed
 
     def _run_plain(self, until: Optional[float], max_events: Optional[int]) -> int:
         processed = 0
-        heap = self._heap
-        heappop = heapq.heappop
         hooks = self._hook_states()
-        # ``events_processed`` is kept in a local and flushed on exit (and
-        # before hook calls, so hooks observe an exact count) — one local
-        # increment per event instead of an attribute read-modify-write.
+        # The overwhelmingly common cases — no hooks, or exactly one (the
+        # livelock watchdog) — get a local-countdown fast path; only
+        # multi-hook runs pay the per-event list walk.
+        if len(hooks) == 1:
+            hcd, hint, hfn = hooks[0]
+            hooks = None
+        else:
+            hfn = None
+            hcd = hint = 0
+        # Sentinels turn the per-event "is a bound set?" double checks
+        # into single comparisons.
+        horizon = _INF if until is None else until
+        limit = _NO_LIMIT if max_events is None else max_events
+        # The consumption cursor and ``events_processed`` are kept in
+        # locals and flushed at the slow path, before hook calls and on
+        # exit — so hooks and re-entrant scheduling observe exact state
+        # while the per-event cost stays a couple of local updates.
         base = self._events_processed
+        bucket = self._buckets[self._cur]
+        pos = self._pos
+        free_append = self._free.append
+        # Horizon checks are hoisted to bucket granularity: a bucket whose
+        # window-derived upper bound (with one spare bucket of slack for
+        # float fuzz in the index map) lies at or before the horizon cannot
+        # contain an event past it.
+        check_h = self._wstart + (self._cur + 2) * self._width > horizon
+        running = True
         try:
-            while heap:
-                ev = heap[0]
-                if until is not None and ev.time > until:
-                    break
-                heappop(heap)
-                if ev.cancelled:
-                    self._cancelled_pending -= 1
+            while running:
+                # ``end`` is a cached lower bound on the bucket length:
+                # callbacks can only *grow* the bucket, and only at or
+                # after the cursor (insorts bisect from ``lo=_pos``), so
+                # entries up to a stale ``end`` are always valid to
+                # consume in order.  The outer loop re-reads the real
+                # length, picking up any growth.  This turns the
+                # per-event bound check into a local integer compare.
+                end = len(bucket)
+                if pos >= end:
+                    self._pos = pos
+                    self._events_processed = base + processed
+                    ev = self._advance()
+                    if ev is None:
+                        break
+                    bucket = self._buckets[self._cur]
+                    pos = 0
+                    check_h = self._wstart + (self._cur + 2) * self._width > horizon
                     continue
-                # Settle the event (see Event.cancel) before dispatch so a
-                # callback cancelling its own handle stays a no-op.
-                ev.cancelled = True
-                self.now = ev.time
-                ev.fn(*ev.args)
-                processed += 1
-                if hooks:
-                    for state in hooks:
-                        state[0] -= 1
-                        if state[0] <= 0:
-                            state[0] = state[1]
+                while pos < end:
+                    ev = bucket[pos]
+                    if check_h and ev.time > horizon:
+                        running = False
+                        break
+                    pos += 1
+                    self._count -= 1
+                    if ev.cancelled:
+                        self._cancelled_pending -= 1
+                        if ev.recyclable:
+                            free_append(ev)
+                        continue
+                    # Settle the event (see Event.cancel) before dispatch
+                    # so a callback cancelling its own handle is a no-op.
+                    ev.cancelled = True
+                    self.now = ev.time
+                    self._now_seq = ev.seq
+                    # The cursor must be exact during the callback: an
+                    # insert into the current bucket bisects from it
+                    # (see schedule).
+                    self._pos = pos
+                    ev.fn(*ev.args)
+                    processed += 1
+                    if ev.recyclable:
+                        free_append(ev)
+                    if hfn is not None:
+                        hcd -= 1
+                        if hcd <= 0:
+                            hcd = hint
                             self._events_processed = base + processed
-                            state[2](self)
-                if max_events is not None and processed >= max_events:
-                    break
+                            hfn(self)
+                    elif hooks:
+                        for state in hooks:
+                            state[0] -= 1
+                            if state[0] <= 0:
+                                state[0] = state[1]
+                                self._events_processed = base + processed
+                                state[2](self)
+                    if processed >= limit:
+                        running = False
+                        break
         finally:
+            self._pos = pos
             self._events_processed = base + processed
         return processed
 
@@ -298,14 +717,21 @@ class Scheduler:
         events; the whole window — its event count and wall time — is
         charged to the category of the event that closed it.  Totals stay
         exact because windows partition the event stream (the trailing
-        partial window is flushed on exit, charged to the last executed
-        event); the per-category split is statistical.  Window lengths
+        partial window is flushed on exit, charged to the last *executed*
+        event — a peeked-but-not-run or cancelled event never takes the
+        charge); the per-category split is statistical.  Window lengths
         are jittered by a deterministic LCG so a periodic event pattern
         (links alternating tx/deliver) cannot alias with the sampling
         grid and skew the split.  Per-event cost is a local countdown
         decrement — this is what keeps profiled mode inside its 5%
         budget on microsecond-scale events.  Hook/watchdog time is
         excluded by advancing the window start past it.
+
+        Profiled loops skip freelist recycling: the leftover flush needs
+        the last executed event intact, and profiling is opt-in so the
+        allocation cost is acceptable.  Recycling affects only object
+        identity, never behaviour, so profiled and plain runs stay
+        bit-identical.
         """
         from time import perf_counter
 
@@ -315,26 +741,39 @@ class Scheduler:
         stride = profiler.sample_stride
         rng = 0x2545F491  # fixed seed: profiles are deterministic across runs
         processed = 0
-        heap = self._heap
-        heappop = heapq.heappop
         hooks = self._hook_states()
         base = self._events_processed
-        ev = None
+        bucket = self._buckets[self._cur]
+        pos = self._pos
+        done_ev = None  # last *executed* event, for the leftover flush
         window = countdown = stride
         last = perf_counter()
         try:
-            while heap:
-                ev = heap[0]
+            while True:
+                if pos < len(bucket):
+                    ev = bucket[pos]
+                else:
+                    self._pos = pos
+                    self._events_processed = base + processed
+                    ev = self._advance()
+                    if ev is None:
+                        break
+                    bucket = self._buckets[self._cur]
+                    pos = 0
                 if until is not None and ev.time > until:
                     break
-                heappop(heap)
+                pos += 1
+                self._count -= 1
                 if ev.cancelled:
                     self._cancelled_pending -= 1
                     continue
                 ev.cancelled = True
                 self.now = ev.time
+                self._now_seq = ev.seq
+                self._pos = pos
                 ev.fn(*ev.args)
                 processed += 1
+                done_ev = ev
                 countdown -= 1
                 if countdown <= 0:
                     now_wall = perf_counter()
@@ -360,13 +799,11 @@ class Scheduler:
                 if max_events is not None and processed >= max_events:
                     break
         finally:
+            self._pos = pos
             self._events_processed = base + processed
             leftover = window - countdown
-            if leftover > 0 and ev is not None:
-                # ev is the last popped event — if it was a cancelled one
-                # the charge lands on a neighbouring callback's category,
-                # which the statistical split tolerates.
-                fn = ev.fn
+            if leftover > 0 and done_ev is not None:
+                fn = done_ev.fn
                 key = getattr(fn, "__func__", fn)
                 slot = slot_of(key)
                 if slot is None:
@@ -383,6 +820,10 @@ class Scheduler:
         is attributed per callback *category*; one clock read per event —
         each event is charged from the previous event's end, so dispatch
         overhead lands in the category of the event that incurred it.
+        Hook time is excluded by resetting the window start after a hook
+        actually fires — only then, so the wall time between ordinary
+        events keeps accumulating into their categories and the category
+        totals sum to the loop's wall time.
 
         The attribution is inlined rather than calling
         ``profiler.record`` — at sub-microsecond event granularity the
@@ -398,22 +839,34 @@ class Scheduler:
         slot_of = profiler._by_fn.get
         slot_for = profiler._slot_for
         processed = 0
-        heap = self._heap
-        heappop = heapq.heappop
         hooks = self._hook_states()
         base = self._events_processed
+        bucket = self._buckets[self._cur]
+        pos = self._pos
         last = perf_counter()
         try:
-            while heap:
-                ev = heap[0]
+            while True:
+                if pos < len(bucket):
+                    ev = bucket[pos]
+                else:
+                    self._pos = pos
+                    self._events_processed = base + processed
+                    ev = self._advance()
+                    if ev is None:
+                        break
+                    bucket = self._buckets[self._cur]
+                    pos = 0
                 if until is not None and ev.time > until:
                     break
-                heappop(heap)
+                pos += 1
+                self._count -= 1
                 if ev.cancelled:
                     self._cancelled_pending -= 1
                     continue
                 ev.cancelled = True
                 self.now = ev.time
+                self._now_seq = ev.seq
+                self._pos = pos
                 fn = ev.fn
                 fn(*ev.args)
                 now_wall = perf_counter()
@@ -426,65 +879,154 @@ class Scheduler:
                 last = now_wall
                 processed += 1
                 if hooks:
+                    fired = False
                     for state in hooks:
                         state[0] -= 1
                         if state[0] <= 0:
                             state[0] = state[1]
                             self._events_processed = base + processed
                             state[2](self)
-                    last = perf_counter()  # do not charge hook time to the next event
+                            fired = True
+                    if fired:
+                        # Do not charge hook time to the next event.
+                        last = perf_counter()
                 if max_events is not None and processed >= max_events:
                     break
         finally:
+            self._pos = pos
             self._events_processed = base + processed
         return processed
 
     def step(self) -> bool:
-        """Process a single event.  Returns ``False`` when the heap is empty."""
-        heap = self._heap
-        while heap:
-            ev = heapq.heappop(heap)
+        """Process a single event.  Returns ``False`` when idle."""
+        free_append = self._free.append
+        while True:
+            bucket = self._buckets[self._cur]
+            pos = self._pos
+            if pos < len(bucket):
+                ev = bucket[pos]
+            else:
+                ev = self._advance()
+                if ev is None:
+                    return False
+                bucket = self._buckets[self._cur]
+                pos = 0
+            self._pos = pos + 1
+            self._count -= 1
             if ev.cancelled:
                 self._cancelled_pending -= 1
+                if ev.recyclable:
+                    free_append(ev)
                 continue
             ev.cancelled = True
             self.now = ev.time
+            self._now_seq = ev.seq
             ev.fn(*ev.args)
             self._events_processed += 1
+            if ev.recyclable:
+                free_append(ev)
             return True
-        return False
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next pending event, or ``None`` if idle."""
-        heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)
+        free_append = self._free.append
+        while True:
+            bucket = self._buckets[self._cur]
+            pos = self._pos
+            if pos < len(bucket):
+                ev = bucket[pos]
+            else:
+                ev = self._advance()
+                if ev is None:
+                    return None
+                pos = 0
+            if not ev.cancelled:
+                return ev.time
+            # Consume cancelled events in passing, as the heap version did.
+            self._pos = pos + 1
+            self._count -= 1
             self._cancelled_pending -= 1
-        return heap[0].time if heap else None
+            if ev.recyclable:
+                free_append(ev)
+
+    @property
+    def max_pending_events(self) -> Optional[int]:
+        """Event-queue pressure bound; ``None`` means unbounded.
+
+        Backed by the ``_cap`` sentinel (unbounded stores ``_NO_LIMIT``)
+        so the schedule hot paths test the bound with a single integer
+        comparison instead of a None check plus a second attribute load.
+        """
+        return None if self._cap == _NO_LIMIT else self._cap
+
+    @max_pending_events.setter
+    def max_pending_events(self, value: Optional[int]) -> None:
+        # ``None`` and 0 both mean "disabled", matching the historical
+        # ``max_pending_events or None`` normalization.
+        self._cap = value or _NO_LIMIT
 
     @property
     def pending(self) -> int:
         """Number of not-yet-cancelled events still queued.
 
-        O(1): cancellation keeps a live count instead of the heap being
-        rescanned per call, so pollers (watchdog, heartbeat, guards) can
-        read this every few thousand events for free.
+        O(1): cancellation keeps a live count instead of the calendar
+        being rescanned per call, so pollers (watchdog, heartbeat, guards)
+        can read this every few thousand events for free.
         """
-        return len(self._heap) - self._cancelled_pending
+        return self._count - self._cancelled_pending
 
     @property
     def events_processed(self) -> int:
-        """Total events executed over the scheduler's lifetime."""
-        return self._events_processed
+        """Total events executed over the scheduler's lifetime, including
+        events whose dispatch was elided as a provable no-op (the count a
+        heap engine dispatching every event would report)."""
+        return self._events_processed + self._events_elided
 
     def reset(self) -> None:
         """Drop all pending events and rewind the clock to zero."""
         # Settle discarded events so a stale handle cancelled after the
         # reset cannot skew the fresh _cancelled_pending count.
-        for ev in self._heap:
+        for bucket in self._buckets:
+            for ev in bucket:
+                ev.cancelled = True
+            bucket.clear()
+        for _t, _s, ev in self._overflow:
             ev.cancelled = True
-        self._heap.clear()
+        self._overflow.clear()
+        self._free.clear()
         self.now = 0.0
         self._seq = 0
+        self._now_seq = -1
         self._events_processed = 0
+        self._events_elided = 0
         self._cancelled_pending = 0
+        self._count = 0
+        self._cur = 0
+        self._pos = 0
+        self._wstart = 0.0
+        self._width = _INITIAL_WIDTH
+        self._inv_width = 1.0 / _INITIAL_WIDTH
+        self._win_base = 0
+
+
+def make_scheduler(max_pending_events: Optional[int] = DEFAULT_MAX_PENDING_EVENTS,
+                   engine: Optional[str] = None):
+    """Build a scheduler, selecting the engine implementation.
+
+    ``engine`` is ``"calendar"`` (default) or ``"heap"``; when ``None``
+    the ``REPRO_ENGINE`` environment variable decides.  The choice is an
+    environment knob rather than a :class:`~repro.experiments.scenarios.Scenario`
+    field on purpose: both engines produce bit-identical results, so the
+    engine is not part of a scenario's identity — putting it in the
+    scenario would change the canonical scenario JSON and invalidate every
+    content-addressed run-journal key for no observable difference.
+    """
+    if engine is None:
+        engine = os.environ.get("REPRO_ENGINE", "calendar")
+    if engine in ("", "calendar"):
+        return Scheduler(max_pending_events=max_pending_events)
+    if engine == "heap":
+        from repro.sim.engine_heap import HeapScheduler
+
+        return HeapScheduler(max_pending_events=max_pending_events)
+    raise ValueError(f"unknown engine {engine!r}; known: calendar, heap")

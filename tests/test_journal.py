@@ -62,7 +62,7 @@ SLOW = TINY.with_overrides(duration_s=5.0, drain_s=1.0, name="slow")
 _COMPARE_FIELDS = [
     f.name
     for f in dataclasses.fields(ExperimentResult)
-    if f.name not in ("scenario", "wall_seconds", "collector")
+    if f.name not in ("scenario", "wall_seconds", "run_loop_seconds", "collector")
 ]
 
 

@@ -265,6 +265,49 @@ class TestFaultState:
         assert pa.in_flight == 0
         assert len(b.arrivals) == 3
 
+    def test_set_down_backs_out_mid_transmission_credit(self):
+        # Regression: set_down() used to leave the full bytes_sent /
+        # busy_seconds credit of a packet caught mid-serialization, so a
+        # flap overcounted utilization in the Figure 4-5 hot-link
+        # analysis.  Half-way through a 1500 B / 12 us transmission only
+        # 750 bytes and 6 us actually happened.
+        sched, a, b, pa, pb = make_pair(rate_bps=1e9, delay_s=100e-6)
+        pa.send(pkt(size=1500))
+        sched.run(until=6e-6)  # exactly half the serialization
+        assert pa.bytes_sent == 1500  # credited in full at tx start
+        killed = pa.set_down()
+        assert killed == 1
+        assert pa.bytes_sent == 750
+        assert pa.busy_seconds == pytest.approx(6e-6)
+        assert pa.bytes_killed == 1500  # full size, tallied separately
+        assert pa.drops_link_down == 1
+
+    def test_set_down_after_serialization_keeps_credit(self):
+        # The packet fully left the transmitter and is only propagating:
+        # every byte crossed the wire, so nothing is backed out (but the
+        # killed delivery still counts in bytes_killed).
+        sched, a, b, pa, pb = make_pair(rate_bps=1e9, delay_s=100e-6)
+        pa.send(pkt(size=1500))
+        sched.run(until=50e-6)  # tx done at 12 us, arrival at 112 us
+        pa.set_down()
+        assert pa.bytes_sent == 1500
+        assert pa.busy_seconds == pytest.approx(12e-6)
+        assert pa.bytes_killed == 1500
+
+    def test_utilization_never_negative_after_flap_storm(self):
+        sched, a, b, pa, pb = make_pair(rate_bps=1e9, delay_s=50e-6)
+        for i in range(5):
+            pa.send(pkt())
+            sched.run(until=sched.now + 3e-6)  # mid-serialization
+            pa.set_down()
+            sched.run(until=sched.now + 1e-6)
+            pa.set_up()
+        sched.run()
+        assert 0 <= pa.bytes_sent <= 5 * 1500
+        assert 0.0 <= pa.busy_seconds
+        assert pa.bytes_killed <= 5 * 1500
+        assert pa.drops_link_down == pa.pkts_sent - len(b.arrivals)
+
     def test_corruption_budget_consumed_in_order(self):
         sched, a, b, pa, pb = make_pair(delay_s=0.0)
         pa.corrupt_next = 2
@@ -274,3 +317,112 @@ class TestFaultState:
         assert pa.drops_corrupt == 2
         assert pa.corrupt_next == 0
         assert len(b.arrivals) == 2  # first two eaten, rest clean
+
+
+class TestFlapStateMachine:
+    """Port up/paused/busy transitions under fault flaps: no stuck-idle
+    port, no double _tx_next, regardless of how the flap interleaves with
+    an in-progress serialization."""
+
+    def test_set_up_before_tx_done_fires_drains_exactly_once(self):
+        # Down mid-transmission, back up before the (materialized) tx-done
+        # fires: the tx-done lands on an up port and must start draining
+        # the parked queue exactly once — not zero times (stuck idle) and
+        # not twice (overlapping serializations).
+        sched, a, b, pa, pb = make_pair(rate_bps=1e9, delay_s=0.0)
+        pa.send(pkt())  # serializes over [0, 12 us]
+        pa.send(pkt())  # parked behind it
+        sched.run(until=6e-6)
+        pa.set_down()   # kills the first, parks the second
+        pa.set_up()     # recovers before the 12 us tx-done
+        sched.run()
+        assert [t for t, _p, _i in b.arrivals] == [pytest.approx(24e-6)]
+        assert pa.pkts_sent == 2
+        assert not pa.busy
+        assert len(pa.queue) == 0
+
+    def test_resume_on_down_port_does_not_transmit(self):
+        sched, a, b, pa, pb = make_pair(delay_s=0.0)
+        pa.pause()
+        pa.send(pkt())  # parked: port is paused
+        pa.set_down()
+        pa.resume()     # un-pauses, but the port is still down
+        sched.run(until=1.0)
+        assert b.arrivals == []
+        assert not pa.paused
+        assert not pa.busy  # crucially not stuck busy
+        pa.set_up()
+        sched.run()
+        assert len(b.arrivals) == 1  # recovery alone restarts the drain
+
+    def test_pause_expiry_racing_explicit_resume(self):
+        # pause(duration) schedules an expiry; an explicit resume() before
+        # it fires must cancel it — the stale expiry must not re-enter
+        # _tx_next behind the already-resumed transmitter.
+        sched, a, b, pa, pb = make_pair(delay_s=0.0)
+        pa.pause(50e-6)
+        pa.send(pkt())
+        pa.send(pkt())
+        sched.schedule_at(20e-6, pa.resume)
+        sched.run()
+        times = [t for t, _p, _i in b.arrivals]
+        assert times == [pytest.approx(32e-6), pytest.approx(44e-6)]
+        assert pa.busy_seconds == pytest.approx(24e-6)
+
+    def test_flap_while_paused_then_resume(self):
+        # down -> up while paused: set_up must respect the pause (no
+        # transmission), and the later resume starts the drain.
+        sched, a, b, pa, pb = make_pair(delay_s=0.0)
+        pa.send(pkt())
+        sched.run(until=6e-6)
+        pa.pause()
+        pa.set_down()
+        pa.set_up()
+        sched.run(until=100e-6)
+        assert b.arrivals == []  # killed first packet, pause holds
+        pa.send(pkt())
+        pa.resume()
+        sched.run()
+        assert len(b.arrivals) == 1
+        assert not pa.busy
+
+
+class TestElisionEquivalence:
+    """The tx-done-elision hot path (elide_tx) must be observationally
+    identical to the seed's two-event transmit path — same delivery
+    times, same counters, same logical event count — including across
+    pauses and fault flaps."""
+
+    @staticmethod
+    def _run_traffic(elide):
+        sched, a, b, pa, pb = make_pair(rate_bps=1e9, delay_s=10e-6)
+        pa.elide_tx = elide
+        pb.elide_tx = elide
+        for i in range(3):
+            pa.send(pkt())
+        sched.schedule_at(5e-6, pa.pause, 20e-6)   # PFC pause mid-burst
+        sched.schedule_at(60e-6, pa.send, pkt())
+        sched.schedule_at(70e-6, pa.set_down)      # flap
+        sched.schedule_at(80e-6, pa.set_up)
+        sched.schedule_at(90e-6, pa.send, pkt())
+        sched.run()
+        # Settle any leftover elided tx-done, as Network.run's post-run
+        # sweep does for real topologies.
+        assert not pa.busy and not pb.busy
+        arrivals = [(t, p.size) for t, p, _i in b.arrivals]
+        counters = (pa.pkts_sent, pa.bytes_sent, pa.bytes_killed,
+                    pa.drops_link_down, round(pa.busy_seconds, 12),
+                    pa.queue.enqueues)
+        return arrivals, counters, sched.events_processed, sched.now
+
+    def test_elide_on_matches_elide_off(self):
+        assert self._run_traffic(True) == self._run_traffic(False)
+
+    def test_busy_property_settles_elided_tx_done(self):
+        # External readers polling `busy` between events must observe the
+        # settled state even though the tx-done event was never dispatched.
+        sched, a, b, pa, pb = make_pair(rate_bps=1e9, delay_s=0.0)
+        pa.send(pkt())
+        sched.run(until=20e-6)  # serialization ended at 12 us
+        assert not pa.busy
+        assert sched.events_processed == 2  # delivery + elided tx-done

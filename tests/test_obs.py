@@ -29,7 +29,7 @@ TINY = SCALED_DEFAULTS.with_overrides(
 
 # The comparison contract for "bit-identical metrics": everything except
 # measured wall time and the instrumentation payloads themselves.
-_EXCLUDED = ("wall_seconds", "profile", "collector")
+_EXCLUDED = ("wall_seconds", "run_loop_seconds", "profile", "collector")
 
 
 def _metrics(result):
@@ -140,6 +140,117 @@ class TestDeterminismUnderInstrumentation:
         assert merged["total_events"] == sum(r.events for r in results)
         assert merge_profiles([None, None]) is None
         assert "link.deliver" in format_profile(merged)
+
+
+def _transport_cb():
+    pass
+
+
+def _workload_cb():
+    pass
+
+
+# profile_category keys off the callback's module: stamp the helpers so
+# they land in two distinct, predictable categories.
+_transport_cb.__module__ = "repro.transport.tcp"
+_workload_cb.__module__ = "repro.workload.query"
+
+
+class _TickClock:
+    """Deterministic perf_counter stand-in: every read advances 1.0s."""
+
+    def __init__(self):
+        self.value = 0.0
+        self.reads = 0
+
+    def __call__(self):
+        self.value += 1.0
+        self.reads += 1
+        return self.value
+
+
+class TestProfilerAttribution:
+    """Regression tests for the two run-loop attribution bugs: the exact
+    loop resetting its window on every event whenever hooks were merely
+    installed, and the sampled loop charging its trailing window to a
+    peeked-but-never-executed event at the `until` horizon."""
+
+    def test_exact_loop_one_clock_read_per_event_with_idle_hooks(self, monkeypatch):
+        # Hooks installed but never firing must not change the clock
+        # discipline: one read per event, and the category totals must
+        # equal the wall time between the loop's first and last read
+        # (the buggy per-event reset silently discarded half of it).
+        import time as time_mod
+
+        from repro.obs.profiler import SchedulerProfiler
+
+        clock = _TickClock()
+        monkeypatch.setattr(time_mod, "perf_counter", clock)
+        sched = Scheduler()
+        SchedulerProfiler(sample_stride=1).install(sched)
+        sched.add_hook(lambda s: None, 10_000)  # installed, never fires
+        for i in range(5):
+            sched.schedule_at(i * 1e-3, _transport_cb)
+        start = clock.value
+        sched.run()
+        elapsed = clock.value - start - 1.0  # minus the loop's initial read
+        profile = sched.profiler.as_dict()
+        assert profile["categories"]["transport.timer"]["events"] == 5
+        assert profile["total_wall_s"] == pytest.approx(elapsed)
+        assert clock.reads == 1 + 5  # the loop's initial read + one per event
+
+    def test_exact_loop_excludes_hook_time_only_when_hook_fires(self, monkeypatch):
+        import time as time_mod
+
+        from repro.obs.profiler import SchedulerProfiler
+
+        clock = _TickClock()
+        monkeypatch.setattr(time_mod, "perf_counter", clock)
+        sched = Scheduler()
+        SchedulerProfiler(sample_stride=1).install(sched)
+        # The hook burns 3 fake-clock ticks every 2 events; that time must
+        # not be charged to any category.
+        sched.add_hook(lambda s: (clock(), clock(), clock()), 2)
+        for i in range(4):
+            sched.schedule_at(i * 1e-3, _transport_cb)
+        sched.run()
+        profile = sched.profiler.as_dict()
+        # Each event's own attribution is exactly one tick.
+        assert profile["categories"]["transport.timer"]["events"] == 4
+        assert profile["total_wall_s"] == pytest.approx(4.0)
+
+    def test_sampled_leftover_charged_to_last_executed_event(self):
+        from repro.obs.profiler import SchedulerProfiler
+
+        sched = Scheduler()
+        SchedulerProfiler(sample_stride=16).install(sched)
+        for i in range(3):
+            sched.schedule_at(i * 1e-3, _transport_cb)
+        sched.schedule_at(2.0, _workload_cb)  # peeked at the break, never run
+        processed = sched.run(until=1.0)
+        assert processed == 3
+        profile = sched.profiler.as_dict()
+        # The trailing partial window (3 events) belongs to the category
+        # of the last event that actually executed -- not to the future
+        # event whose peek broke the loop.
+        assert profile["categories"]["transport.timer"]["events"] == 3
+        assert "workload.arm" not in profile["categories"]
+        assert profile["total_events"] == processed
+
+    def test_sampled_totals_exact_after_horizon_resume(self):
+        from repro.obs.profiler import SchedulerProfiler
+
+        sched = Scheduler()
+        SchedulerProfiler(sample_stride=16).install(sched)
+        for i in range(3):
+            sched.schedule_at(i * 1e-3, _transport_cb)
+        sched.schedule_at(2.0, _workload_cb)
+        sched.run(until=1.0)
+        sched.run()  # resume past the horizon; the straggler now runs
+        profile = sched.profiler.as_dict()
+        assert profile["total_events"] == 4
+        assert profile["categories"]["transport.timer"]["events"] == 3
+        assert profile["categories"]["workload.arm"]["events"] == 1
 
 
 # ----------------------------------------------------------------------

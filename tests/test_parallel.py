@@ -27,7 +27,7 @@ TINY = SCALED_DEFAULTS.with_overrides(
 _COMPARE_FIELDS = [
     f.name
     for f in dataclasses.fields(ExperimentResult)
-    if f.name not in ("scenario", "wall_seconds", "collector")
+    if f.name not in ("scenario", "wall_seconds", "run_loop_seconds", "collector")
 ]
 
 

@@ -34,9 +34,10 @@ class TestRegistryConsistency:
         on_disk = {
             p.stem
             for p in benchmarks_dir().glob("bench_*.py")
-            # Substrate-health benches (engine throughput, observability
-            # overhead gates) are not paper artifacts.
-            if p.stem not in {"bench_engine_throughput", "bench_obs_overhead"}
+            # Substrate-health benches (engine throughput/speed gates,
+            # observability overhead gates) are not paper artifacts.
+            if p.stem
+            not in {"bench_engine_throughput", "bench_engine_speed", "bench_obs_overhead"}
         }
         assert on_disk == registered, (
             f"unregistered: {sorted(on_disk - registered)}; "

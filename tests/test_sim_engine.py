@@ -1,8 +1,18 @@
 """Unit tests for the discrete-event scheduler."""
 
+import random
+
 import pytest
 
-from repro.sim.engine import Scheduler, SimulationError
+from repro.sim.engine import (
+    _INITIAL_WIDTH,
+    _NBUCKETS,
+    ResourceError,
+    Scheduler,
+    SimulationError,
+    make_scheduler,
+)
+from repro.sim.engine_heap import HeapScheduler
 
 
 class TestScheduling:
@@ -200,3 +210,233 @@ class TestReset:
         sched.run()
         assert fired == [1]
         assert sched.now == 0.5
+
+    def test_reset_clears_overflow_band(self):
+        sched = Scheduler()
+        # Far beyond the initial window: parks in the overflow heap.
+        sched.schedule(_NBUCKETS * _INITIAL_WIDTH * 50, lambda: None)
+        sched.reset()
+        assert sched.pending == 0
+        assert sched.peek_time() is None
+        fired = []
+        sched.schedule(0.1, fired.append, 1)
+        sched.run()
+        assert fired == [1]
+
+
+class TestCalendarGeometry:
+    """The bucketed ring, the overflow band, and window rollovers."""
+
+    def test_order_preserved_across_window_rollovers(self):
+        # Span many multiples of the initial window so the run loop must
+        # roll the window forward repeatedly (and re-derive the bucket
+        # width from the observed event stream along the way).
+        sched = Scheduler()
+        span = _NBUCKETS * _INITIAL_WIDTH * 8
+        rng = random.Random(7)
+        times = sorted(rng.uniform(0.0, span) for _ in range(3000))
+        order = []
+        for t in rng.sample(times, len(times)):  # insert in shuffled order
+            sched.schedule_at(t, order.append, t)
+        sched.run()
+        assert order == times
+        assert sched.pending == 0
+
+    def test_far_future_event_lands_in_overflow_and_fires_last(self):
+        sched = Scheduler()
+        far = _NBUCKETS * _INITIAL_WIDTH * 100
+        order = []
+        sched.schedule_at(far, order.append, "far")
+        for i in range(5):
+            sched.schedule_at(i * 1e-6, order.append, i)
+        assert len(sched._overflow) == 1  # parked beyond the window
+        sched.run()
+        assert order == [0, 1, 2, 3, 4, "far"]
+        assert sched.now == far
+
+    def test_fifo_ties_preserved_through_overflow_refill(self):
+        # Simultaneous events parked in the overflow band must keep their
+        # FIFO (sequence) order when a rollover pulls them into the ring.
+        sched = Scheduler()
+        far = _NBUCKETS * _INITIAL_WIDTH * 10
+        order = []
+        for i in range(20):
+            sched.schedule_at(far, order.append, i)
+        sched.schedule_at(0.0, order.append, "first")
+        sched.run()
+        assert order == ["first"] + list(range(20))
+
+    def test_width_adapts_to_sparse_event_stream(self):
+        # A stream sparser than the initial 1 us/bucket geometry but dense
+        # enough that each consumed window clears the _WIDTH_MIN_SAMPLE
+        # gate: the derived width must grow (damped to 4x per rollover),
+        # and ordering must survive the repeated re-bucketing.
+        sched = Scheduler()
+        order = []
+        gap = _INITIAL_WIDTH * 8  # ~128 events per initial window
+        for i in range(1000):
+            sched.schedule_at(i * gap, order.append, i)
+        sched.run()
+        assert order == list(range(1000))
+        assert sched._width > _INITIAL_WIDTH
+
+    def test_events_scheduled_mid_run_join_current_bucket(self):
+        # A callback scheduling an event for "now" (same bucket, behind
+        # the cursor's time band) must see it fire before later buckets.
+        sched = Scheduler()
+        order = []
+
+        def first():
+            order.append("first")
+            sched.schedule(0.0, order.append, "same-time")
+            sched.schedule(1e-7, order.append, "same-bucket")
+
+        sched.schedule_at(1e-7, first)
+        sched.schedule_at(5e-6, order.append, "later")
+        sched.run()
+        assert order == ["first", "same-time", "same-bucket", "later"]
+
+    def test_cancel_future_event_from_callback(self):
+        sched = Scheduler()
+        fired = []
+        victim = sched.schedule(3e-6, fired.append, "victim")
+        sched.schedule(1e-6, victim.cancel)
+        sched.schedule(5e-6, fired.append, "after")
+        sched.run()
+        assert fired == ["after"]
+        assert sched.pending == 0
+
+
+class TestHeapParity:
+    """The calendar engine and the reference heap engine must execute any
+    workload identically: same callback order, same clock, same counts."""
+
+    @staticmethod
+    def _drive(sched):
+        """A deterministic but irregular workload: bursts, ties, cancels,
+        far-future stragglers, and callbacks that schedule more work."""
+        rng = random.Random(1234)
+        trace = []
+        handles = []
+
+        def work(label):
+            trace.append((sched.now, label))
+            if rng.random() < 0.4:
+                sched.schedule(rng.choice([0.0, 1e-7, 3e-6, 2e-3]), work,
+                               f"{label}/child")
+            if handles and rng.random() < 0.2:
+                handles.pop(rng.randrange(len(handles))).cancel()
+
+        for i in range(300):
+            delay = rng.choice([0.0, 1e-7, 1e-6, 7e-6, 1e-3, 0.5])
+            handles.append(sched.schedule(delay, work, f"root{i}"))
+        sched.run(until=0.25)
+        sched.run()  # drain the stragglers past the horizon
+        return trace, sched.events_processed, sched.pending, sched.now
+
+    def test_identical_execution_and_counters(self):
+        calendar = self._drive(Scheduler())
+        heap = self._drive(HeapScheduler())
+        assert calendar == heap
+
+    def test_make_scheduler_selects_engine(self):
+        assert isinstance(make_scheduler(engine="calendar"), Scheduler)
+        assert isinstance(make_scheduler(engine="heap"), HeapScheduler)
+        with pytest.raises(ValueError):
+            make_scheduler(engine="splay")
+
+
+class TestFreelist:
+    """schedule_once events are recycled once settled."""
+
+    def test_fired_once_events_are_recycled(self):
+        sched = Scheduler()
+        for _ in range(10):
+            sched.schedule_once(1e-6, lambda: None)
+        sched.run()
+        assert len(sched._free) == 10
+        recycled = sched._free[-1]
+        ev = sched.schedule_once(1e-6, lambda: None)
+        assert ev is recycled  # reused, not freshly allocated
+
+    def test_cancelled_once_event_is_recycled_after_consumption(self):
+        sched = Scheduler()
+        fired = []
+        ev = sched.schedule_once(1e-6, fired.append, "x")
+        ev.cancel()
+        sched.schedule_once(2e-6, fired.append, "y")
+        sched.run()
+        assert fired == ["y"]
+        assert ev in sched._free
+
+    def test_escaped_handles_are_never_recycled(self):
+        # schedule() handles may outlive the run (callers can cancel
+        # late); they must not be pooled for reuse.
+        sched = Scheduler()
+        ev = sched.schedule(1e-6, lambda: None)
+        sched.run()
+        assert ev not in sched._free
+        ev.cancel()  # late cancel through the stale handle: harmless no-op
+        assert sched.pending == 0
+
+    def test_recycled_event_fires_with_new_payload(self):
+        sched = Scheduler()
+        fired = []
+        sched.schedule_once(1e-6, fired.append, "first")
+        sched.run()
+        sched.schedule_once(1e-6, fired.append, "second")
+        sched.run()
+        assert fired == ["first", "second"]
+
+
+class TestReservedSequences:
+    """reserve_seq / schedule_reserved: the elision primitive must keep
+    the (time, seq) total order exactly as if the event was never elided."""
+
+    def test_materialized_event_keeps_its_tie_position(self):
+        sched = Scheduler()
+        order = []
+        sched.schedule_at(1e-6, order.append, "a")  # seq 0
+        seq = sched.reserve_seq()                   # seq 1, held back
+        sched.schedule_at(1e-6, order.append, "c")  # seq 2
+        sched.schedule_reserved(1e-6, seq, order.append, "b")
+        sched.run()
+        assert order == ["a", "b", "c"]
+
+    def test_reservation_alone_does_not_block_draining(self):
+        sched = Scheduler()
+        fired = []
+        sched.reserve_seq()  # reserved but never materialized
+        sched.schedule(1e-6, fired.append, 1)
+        sched.run()
+        assert fired == [1]
+        assert sched.pending == 0
+
+    def test_parity_with_heap_engine(self):
+        def drive(sched):
+            order = []
+            sched.schedule_at(5e-6, order.append, "x")
+            seq = sched.reserve_seq()
+            sched.schedule_at(5e-6, order.append, "z")
+            sched.schedule_reserved(5e-6, seq, order.append, "y")
+            sched.run()
+            return order, sched.events_processed
+
+        assert drive(Scheduler()) == drive(HeapScheduler())
+
+
+class TestOverpressure:
+    def test_pending_cap_aborts_runaway_scheduling(self):
+        sched = Scheduler(max_pending_events=10)
+        for i in range(10):
+            sched.schedule(1.0, lambda: None)
+        with pytest.raises(ResourceError):
+            sched.schedule(1.0, lambda: None)
+
+    def test_cap_is_live_tunable(self):
+        sched = Scheduler(max_pending_events=5)
+        assert sched.max_pending_events == 5
+        sched.max_pending_events = None  # disable
+        for _ in range(50):
+            sched.schedule(1.0, lambda: None)
+        assert sched.pending == 50
