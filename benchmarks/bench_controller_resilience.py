@@ -1,0 +1,243 @@
+"""Controller resilience — hostile-regime grid: controlled vs static DIBS.
+
+The space-DC scenario family (repro.experiments.scenarios.space_dc) is
+deliberately hostile to every static mitigation setting: 50 Mbps links
+with ~200 ms base RTT and seeded propagation jitter, Poisson link
+outages (~1 s handover blackouts), and a diurnal background swing that
+makes the load the mitigation was tuned for wrong half the run.  The
+flap-storm variant is the pathological cell for DIBS itself: 2
+flaps/link/s with 5 ms downtime keeps shrinking the detour mask, so the
+surviving links absorb everyone's detour load — the regime where
+detouring must *fail soft* rather than melt the neighborhood down.
+
+This bench runs the grid {space-outage, flap-storm} x {DCTCP, static
+DIBS, controlled DIBS} and reports tail QCT, drops, detours, and the
+runtime controller's own counters (breaker trips / re-arms, degraded
+ticks, retunes).  Every run executes with the livelock watchdog armed
+and periodic conservation audits; a watchdog or invariant abort would
+surface as a failed run in the telemetry footer.
+
+The controlled arm runs a *per-regime* spec, the way a real deployment
+would tune its control loop.  The space cell uses the defaults: slow
+outages plus a diurnal swing give the hysteresis bands real load shifts
+to track, so ECN/detour-budget/DBA retunes fire alongside the breaker.
+The flap-storm cell uses a breaker-lean spec (watermarks parked high):
+storm tails are dominated by RTO alignment after blackouts, so knob
+retunes there are pure trajectory noise — the breaker shedding detour
+storms is the mechanism that helps, and on seeds where it never trips
+the controlled run stays bit-identical to static (actuation, not
+observation, is the only thing that can change a trajectory).
+
+Expected shape: the controlled-DIBS column matches or beats static DIBS
+on the flap-storm cell, and the controller counters prove the
+degradation machinery actually cycled — trips *and* re-arms, never a
+permanently wedged breaker.
+
+``--check`` gates (the CI leg):
+
+* no failed runs anywhere in the grid (watchdog + invariants stayed quiet);
+* the breaker tripped AND re-armed on both controlled cells;
+* the controller retuned at least one knob on the space cell;
+* controlled-DIBS p99 QCT <= static-DIBS p99 QCT on the flap-storm cell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.control.spec import ControllerSpec
+from repro.experiments.journal import RunJournal
+from repro.experiments.parallel import RunTelemetry, run_grid
+from repro.experiments.report import format_table
+from repro.experiments.scenarios import flap_storm, space_dc
+
+import common
+
+NAME = "controller_resilience"
+
+# Per-regime controller specs for the controlled arm.  Space: defaults
+# (full loop — hysteresis retunes + breaker).  Storm: breaker-lean —
+# hysteresis watermarks parked so high the retune path never fires and
+# the circuit breaker is the only active mechanism.
+SPACE_CTL_SPEC = ControllerSpec()
+STORM_CTL_SPEC = ControllerSpec(
+    drop_rate_high=0.9, drop_rate_low=0.0,
+    occupancy_high=0.99, occupancy_low=0.0,
+)
+CTL_SPECS = {"space": SPACE_CTL_SPEC, "storm": STORM_CTL_SPEC}
+
+REGIMES = (("space", "space-DC outages"), ("storm", "flap storm"))
+VARIANTS = (
+    ("dctcp", "DCTCP"),
+    ("dibs", "DIBS static"),
+    ("dibs-ctl", "DIBS controlled"),
+)
+
+SEEDS = tuple(range(8))
+SEEDS_FULL = tuple(range(16))
+
+
+def build_cells(full: bool = False) -> dict:
+    """The (regime, variant) -> Scenario grid.
+
+    ``full`` widens the seed pool only (see SEEDS_FULL); the simulated
+    horizon stays at the scenario-family defaults, which already span
+    several outage/flap cycles and one diurnal swing per run.
+    """
+    overrides = {"invariant_check_interval_s": 0.1}
+    cells = {}
+    for regime, factory in (("space", space_dc), ("storm", flap_storm)):
+        for variant, _label in VARIANTS:
+            scheme = "dctcp" if variant == "dctcp" else "dibs"
+            controlled = variant == "dibs-ctl"
+            cells[(regime, variant)] = factory(
+                scheme,
+                controller=controlled,
+                controller_spec=CTL_SPECS[regime].to_json_text() if controlled else None,
+                name=f"ctlres:{regime}:{variant}",
+                **overrides,
+            )
+    return cells
+
+
+def _fmt_ms(value) -> str:
+    return f"{value:.1f}" if value is not None else "-"
+
+
+def _run_grid(full: bool, workers: int, journal_dir, resume):
+    cells = build_cells(full)
+    telemetry = RunTelemetry()
+    journal = RunJournal(journal_dir) if journal_dir else None
+    results = run_grid(
+        cells,
+        seeds=SEEDS_FULL if full else SEEDS,
+        workers=workers,
+        telemetry=telemetry,
+        journal=journal,
+        resume=resume,
+    )
+    return results, telemetry
+
+
+def _render(results, telemetry) -> str:
+    rows = []
+    for regime, regime_label in REGIMES:
+        row = {"regime": regime_label}
+        for variant, label in VARIANTS:
+            result = results.get((regime, variant))
+            if result is None:  # permanently failed run (see telemetry)
+                row[f"{label} qct_p99_ms"] = "!"
+                continue
+            row[f"{label} qct_p99_ms"] = _fmt_ms(result.qct_p99_ms)
+            row[f"{label} drops"] = result.total_drops
+            if variant != "dctcp":
+                row[f"{label} detours"] = result.detours
+            if variant == "dibs-ctl":
+                stats = result.controller_stats
+                row["trips/rearms"] = (
+                    f"{stats.get('breaker_trips', 0)}/{stats.get('breaker_rearms', 0)}"
+                )
+                row["degraded_ticks"] = stats.get("degraded_ticks", 0)
+                row["retunes"] = stats.get("retunes_total", 0)
+        rows.append(row)
+    title = (
+        "Controller resilience: hostile regimes, controlled vs static DIBS.\n"
+        "space-DC: 50 Mbps / ~200 ms RTT jittered links, ~1 s Poisson\n"
+        "outages, diurnal background swing.  flap storm: 2 flaps/link/s\n"
+        "with 5 ms downtime — the detour-mask-churn worst case.\n"
+        "Expected shape: controlled DIBS matches or beats static DIBS on\n"
+        "the flap-storm cell, and its breaker counters show trips AND\n"
+        "re-arms (degradation cycles; it never wedges).  All runs execute\n"
+        "with the livelock watchdog armed and periodic conservation audits."
+    )
+    resilience = (
+        f"resilience: retries {telemetry.retries}"
+        f" | backoff waits {telemetry.backoff_waits} ({telemetry.backoff_total_s:.2f}s)"
+        f" | timeout escalations {telemetry.timeout_escalations}"
+        f" | cells resumed {telemetry.cells_resumed}, journaled {telemetry.cells_journaled}"
+        f" | interrupted {telemetry.interrupted}"
+    )
+    return format_table(rows, title=title) + "\n\n" + telemetry.summary() + "\n" + resilience
+
+
+def check(results, telemetry) -> list[str]:
+    """The ``--check`` gate: returns human-readable failures (empty = pass)."""
+    problems = []
+    if telemetry.runs_failed:
+        problems.append(
+            f"{telemetry.runs_failed} run(s) failed permanently: "
+            + "; ".join(f"{f.key}: {f.reason}" for f in telemetry.failures)
+        )
+    for regime, _label in REGIMES:
+        ctl = results.get((regime, "dibs-ctl"))
+        if ctl is None:
+            problems.append(f"controlled cell missing for regime {regime!r}")
+            continue
+        stats = ctl.controller_stats
+        if not stats.get("breaker_trips"):
+            problems.append(f"[{regime}] breaker never tripped (counters: {stats})")
+        if not stats.get("breaker_rearms"):
+            problems.append(f"[{regime}] breaker never re-armed (counters: {stats})")
+        if regime == "space" and not stats.get("retunes_total"):
+            problems.append(f"[{regime}] controller never retuned a knob ({stats})")
+    static = results.get(("storm", "dibs"))
+    controlled = results.get(("storm", "dibs-ctl"))
+    if static is not None and controlled is not None:
+        s_p99, c_p99 = static.qct_p99_ms, controlled.qct_p99_ms
+        if s_p99 is None or c_p99 is None:
+            problems.append("flap-storm cells produced no completed queries")
+        elif c_p99 > s_p99:
+            problems.append(
+                f"controlled DIBS p99 QCT regressed vs static on the flap-storm "
+                f"cell: {c_p99:.1f} ms > {s_p99:.1f} ms"
+            )
+    return problems
+
+
+def run(full: bool = False, workers: int = 1,
+        journal_dir: str | None = None, resume: bool = False) -> str:
+    results, telemetry = _run_grid(full, workers, journal_dir, resume)
+    return _render(results, telemetry)
+
+
+def test_controller_resilience(benchmark):
+    common.bench_entry(benchmark, NAME, lambda: run(False))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the controller-resilience grid"
+    )
+    parser.add_argument("--full", action="store_true",
+                        help="full scenario-family horizons and more seeds (slow)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the grid (1 = serial)")
+    parser.add_argument("--journal-dir", default=None, dest="journal_dir", metavar="DIR",
+                        help="checkpoint completed runs into DIR")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip runs already journaled in --journal-dir")
+    parser.add_argument("--check", action="store_true",
+                        help="enforce the graceful-degradation gates "
+                             "(breaker cycled, no aborts, controlled p99 <= "
+                             "static p99 on the flap-storm cell)")
+    args = parser.parse_args()
+    results, telemetry = _run_grid(args.full, args.workers, args.journal_dir, args.resume)
+    text = _render(results, telemetry)
+    common.save_table(NAME + ("-full" if args.full else ""), text)
+    print(text)
+    if args.check:
+        problems = check(results, telemetry)
+        if problems:
+            print("\n--check FAILED:", file=sys.stderr)
+            for problem in problems:
+                print(f"  * {problem}", file=sys.stderr)
+            return 1
+        print("\n--check passed: no aborts, breaker cycled, "
+              "controlled p99 <= static p99 on the flap-storm cell")
+    sys.stdout.flush()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -82,6 +82,12 @@ _NUMERIC_FIELDS = {
     "invariant_check_interval_s": float,
     "max_pending_events": int,
     "trace_occupancy_interval_s": float,
+    "link_jitter_s": float,
+    "bg_diurnal_period_s": float,
+    "bg_diurnal_amplitude": float,
+    "link_rate_bps": float,
+    "link_delay_s": float,
+    "min_rto_s": float,
 }
 
 
@@ -152,6 +158,15 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
                              "applied to every run")
     parser.add_argument("--no-watchdog", action="store_true",
                         help="disable the livelock watchdog (on by default)")
+    # Runtime control (repro.control).
+    parser.add_argument("--controller", action="store_true",
+                        help="install the closed-loop runtime controller "
+                             "(detour-storm breaker + live retuning of the "
+                             "ECN threshold, detour cap, and DBA alpha)")
+    parser.add_argument("--controller-spec", default=None, dest="controller_spec",
+                        metavar="SPEC.json",
+                        help="JSON ControllerSpec overrides (see "
+                             "repro.control.spec); implies --controller")
     parser.add_argument("--engine", default=None, choices=["calendar", "heap"],
                         help="event-scheduler implementation (default: calendar, or "
                              "$REPRO_ENGINE); both engines give bit-identical results "
@@ -213,6 +228,17 @@ def _scenario_from_args(args: argparse.Namespace) -> Scenario:
         overrides["faults"] = load_fault_spec(args.faults)
     if getattr(args, "no_watchdog", False):
         overrides["watchdog"] = False
+    if getattr(args, "controller_spec", None):
+        from repro.control.spec import ControllerSpec
+
+        with open(args.controller_spec) as fh:
+            spec = ControllerSpec.from_json_text(fh.read())
+        # Canonical JSON keeps the journal's scenario hash stable across
+        # cosmetic reformattings of the same spec file.
+        overrides["controller"] = True
+        overrides["controller_spec"] = spec.to_json_text()
+    if getattr(args, "controller", False):
+        overrides["controller"] = True
     if getattr(args, "profile", False):
         overrides["profile"] = True
     if getattr(args, "heartbeat_interval_s", None) is not None:

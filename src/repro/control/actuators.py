@@ -1,0 +1,131 @@
+"""Actuator interface: the write side of the control loop.
+
+:class:`Actuators` is the only component that mutates live network state
+on the controller's behalf.  It caches the target objects (the ECN-capable
+queues behind up ports) and invalidates that cache on every topology
+generation change — fault transitions (``Port.set_down()`` killing
+in-flight packets, fault-filtered FIB views) bump
+``Network.topology_generation`` through the injector, so a retune can
+never land on a cached queue list that predates the fault.  Applying a
+retune also re-checks ``port.up`` live, covering direct ``set_down()``
+calls that bypass the injector.
+
+The detour enable/disable actuator routes through
+``Switch.set_detour_enabled``, which reuses the fault-transition
+invalidation path (``refresh_fault_state``): the ECMP memo is cleared on
+controller-driven detour toggles exactly as it is for fault events.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.queues import DynamicBufferQueue, EcnQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+    from repro.net.switch import Switch
+
+__all__ = ["Actuators"]
+
+
+class Actuators:
+    """Apply controller decisions to switches, queues, and transports."""
+
+    def __init__(self, network: "Network", transport: Optional[object] = None) -> None:
+        self.network = network
+        # The shared transport config driving workload flows (optional;
+        # only used to *read* the configured TTL for telemetry).
+        self.transport = transport
+        self._generation = -1
+        self._ecn_queues: list = []
+        self._refresh()
+
+    # ------------------------------------------------------------------
+    # cache maintenance (satellite: fault transitions invalidate us)
+    # ------------------------------------------------------------------
+    def _refresh(self) -> None:
+        """Rebuild cached actuation targets if the topology generation
+        moved (any fault transition or FIB reinstall bumps it)."""
+        gen = self.network.topology_generation
+        if gen == self._generation:
+            return
+        self._generation = gen
+        queues = []
+        for switch in self.network.switches:
+            for port in switch.ports:
+                if not port.up:
+                    continue
+                queue = port.queue
+                if isinstance(queue, EcnQueue) or (
+                    isinstance(queue, DynamicBufferQueue)
+                    and queue.mark_threshold_pkts is not None
+                ):
+                    queues.append((port, queue))
+        self._ecn_queues = queues
+
+    @property
+    def cached_generation(self) -> int:
+        """Topology generation the current cache was built against
+        (introspection for tests and the invalidation audit)."""
+        return self._generation
+
+    # ------------------------------------------------------------------
+    # knob reads (initial values for the controller's baselines)
+    # ------------------------------------------------------------------
+    def current_ecn_threshold(self) -> Optional[int]:
+        self._refresh()
+        if not self._ecn_queues:
+            return None
+        return self._ecn_queues[0][1].mark_threshold_pkts
+
+    def current_detour_cap(self) -> int:
+        return self.network.dibs.max_detours_per_packet
+
+    def current_dba_alpha(self) -> Optional[float]:
+        pools = self.network._dba_pools
+        if not pools:
+            return None
+        return next(iter(pools.values())).alpha
+
+    # ------------------------------------------------------------------
+    # knob writes
+    # ------------------------------------------------------------------
+    def set_ecn_threshold(self, pkts: int) -> int:
+        """Retune the ECN mark threshold on every live ECN-capable switch
+        queue.  Returns how many queues were touched (0 when the scheme
+        has no ECN queues — the actuator degrades to a no-op)."""
+        if pkts < 1:
+            raise ValueError("ECN threshold must be positive")
+        self._refresh()
+        touched = 0
+        for port, queue in self._ecn_queues:
+            if not port.up:  # fault landed since the cache was built
+                continue
+            queue.mark_threshold_pkts = pkts
+            touched += 1
+        return touched
+
+    def set_detour_cap(self, cap: int) -> None:
+        """Retune the per-packet detour budget (0 = unlimited).  The
+        DibsConfig object is shared by every switch, so one write reaches
+        the whole fabric."""
+        if cap < 0:
+            raise ValueError("detour cap cannot be negative")
+        self.network.dibs.max_detours_per_packet = cap
+
+    def set_dba_alpha(self, alpha: float) -> int:
+        """Retune the DBA dynamic threshold on every shared buffer pool.
+        Returns the number of pools touched."""
+        if alpha <= 0:
+            raise ValueError("DBA alpha must be positive")
+        pools = self.network._dba_pools
+        for pool in pools.values():
+            pool.alpha = alpha
+        return len(pools)
+
+    def set_detour_enabled(self, switch: "Switch", enabled: bool) -> None:
+        """Enable/disable detouring on one switch (the circuit breaker's
+        lever).  Goes through the switch's own fault-invalidation path so
+        the ECMP memo and hot-path specialization stay coherent."""
+        switch.set_detour_enabled(enabled)

@@ -85,6 +85,9 @@ ARTIFACTS: tuple[Artifact, ...] = (
     Artifact("robustness (faults)", "DIBS degrades gracefully as failed core links shrink the detour fabric",
              "bench_fault_resilience",
              ("repro.faults", "repro.experiments.journal", "repro.experiments.parallel")),
+    Artifact("robustness (control)", "a closed-loop controller fails DIBS soft under hostile regimes: breaker trips and re-arms, controlled <= static p99 in the flap storm",
+             "bench_controller_resilience",
+             ("repro.control", "repro.workload.background", "repro.net.link")),
 )
 
 

@@ -11,7 +11,7 @@ from repro.faults.guards import InvariantChecker
 from repro.faults.injector import install_faults
 from repro.faults.watchdog import Watchdog
 from repro.metrics.stats import percentile
-from repro.workload.background import BackgroundTraffic
+from repro.workload.background import BackgroundTraffic, DiurnalBackgroundTraffic
 from repro.workload.distributions import web_search_background
 from repro.workload.query import QueryTraffic
 
@@ -57,6 +57,12 @@ class ExperimentResult:
     faults_applied: dict[str, int] = field(default_factory=dict)
     fault_packets_killed: int = 0
     invariant_checks: int = 0
+    # Runtime-controller accounting (repro.control): cumulative counters
+    # from RuntimeController.stats_dict() — ticks, retunes, breaker trips /
+    # re-arms, degraded ticks.  Empty for uncontrolled runs; merged per-key
+    # like ``drops`` when pooling (gauges deliberately stay out, they make
+    # no sense summed across seeds).
+    controller_stats: dict[str, int] = field(default_factory=dict)
     # Observability (repro.obs): the per-category scheduler profile payload
     # (None unless scenario.profile), and the run's live MetricsCollector.
     # The collector is a convenience handle for exporters — it never
@@ -166,6 +172,15 @@ def run_scenario(scenario: Scenario, trace_paths: bool = False) -> ExperimentRes
         ).attach(network)
 
     injector = install_faults(network, scenario)
+    controller = None
+    if scenario.controller:
+        from repro.control import ControllerSpec, RuntimeController
+
+        controller = RuntimeController(
+            network,
+            spec=ControllerSpec.from_json_text(scenario.controller_spec),
+            transport=transport,
+        ).install()
     if scenario.watchdog:
         # A packet legitimately traverses at most its initial TTL switch
         # hops; a healthy margin on top keeps the guard from ever firing on
@@ -181,13 +196,24 @@ def run_scenario(scenario: Scenario, trace_paths: bool = False) -> ExperimentRes
 
     background = None
     if scenario.bg_enabled:
-        background = BackgroundTraffic(
-            network,
-            interarrival_s=scenario.bg_interarrival_s,
-            size_dist=web_search_background(),
-            transport=transport,
-            stop_at=scenario.duration_s,
-        )
+        if scenario.bg_diurnal_period_s > 0:
+            background = DiurnalBackgroundTraffic(
+                network,
+                interarrival_s=scenario.bg_interarrival_s,
+                size_dist=web_search_background(),
+                transport=transport,
+                stop_at=scenario.duration_s,
+                period_s=scenario.bg_diurnal_period_s,
+                amplitude=scenario.bg_diurnal_amplitude,
+            )
+        else:
+            background = BackgroundTraffic(
+                network,
+                interarrival_s=scenario.bg_interarrival_s,
+                size_dist=web_search_background(),
+                transport=transport,
+                stop_at=scenario.duration_s,
+            )
         background.start()
     query = None
     if scenario.query_enabled:
@@ -248,6 +274,8 @@ def run_scenario(scenario: Scenario, trace_paths: bool = False) -> ExperimentRes
         result.fault_packets_killed = injector.packets_killed
     if checker is not None:
         result.invariant_checks = checker.checks_run
+    if controller is not None:
+        result.controller_stats = controller.stats_dict()
     return result
 
 
@@ -295,6 +323,8 @@ def merge_results(scenario: Scenario, results: Sequence[ExperimentResult]) -> Ex
             merged.drops[key] = merged.drops.get(key, 0) + value
         for key, value in result.faults_applied.items():
             merged.faults_applied[key] = merged.faults_applied.get(key, 0) + value
+        for key, value in result.controller_stats.items():
+            merged.controller_stats[key] = merged.controller_stats.get(key, 0) + value
         for name in _SUM_FIELDS:
             setattr(merged, name, getattr(merged, name) + getattr(result, name))
     from repro.obs.profiler import merge_profiles
@@ -330,6 +360,7 @@ def result_to_dict(result: ExperimentResult, include_scenario: bool = True) -> d
     }
     payload["drops"] = dict(result.drops)
     payload["faults_applied"] = dict(result.faults_applied)
+    payload["controller_stats"] = dict(result.controller_stats)
     for name in _SAMPLE_FIELDS:
         payload[name] = list(payload[name])
     if include_scenario:

@@ -39,7 +39,15 @@ from repro.topo import click_testbed, fat_tree, jellyfish, leaf_spine, linear
 from repro.transport.base import TcpConfig
 from repro.transport.pfabric import PFabricConfig
 
-__all__ = ["Scenario", "SCHEMES", "PAPER_DEFAULTS", "SCALED_DEFAULTS"]
+__all__ = [
+    "Scenario",
+    "SCHEMES",
+    "PAPER_DEFAULTS",
+    "SCALED_DEFAULTS",
+    "SPACE_DC_DEFAULTS",
+    "space_dc",
+    "flap_storm",
+]
 
 SCHEMES = (
     "dctcp",
@@ -70,6 +78,10 @@ class Scenario:
     k: int = 4
     link_rate_bps: float = 1e9
     link_delay_s: float = 5e-6
+    # Per-delivery uniform jitter in [0, link_jitter_s) added to every
+    # link's propagation delay (seeded, deterministic; arrival order per
+    # link stays FIFO).  0 keeps the classic fixed-delay links.
+    link_jitter_s: float = 0.0
     oversubscription: float = 1.0  # inter-switch slowdown factor (§5.5.4)
 
     # --- switch configuration ------------------------------------------
@@ -92,6 +104,12 @@ class Scenario:
     # --- workload -------------------------------------------------------
     bg_enabled: bool = True
     bg_interarrival_s: float = 0.120
+    # Diurnal (time-of-day) modulation of the background arrival rate:
+    # period_s > 0 switches the generator to a non-homogeneous Poisson
+    # process with a sinusoidal day cycle of that simulated length;
+    # amplitude in [0, 1) sets the peak/trough depth.
+    bg_diurnal_period_s: float = 0.0
+    bg_diurnal_amplitude: float = 0.5
     query_enabled: bool = True
     qps: float = 300.0
     incast_degree: int = 40
@@ -116,6 +134,14 @@ class Scenario:
     # calendar exceeds this aborts with a diagnostic ResourceError instead
     # of growing until the OOM killer takes the worker.  0 disables.
     max_pending_events: int = 5_000_000
+
+    # --- runtime control (repro.control) ---------------------------------
+    # controller=True installs the closed-loop RuntimeController on the
+    # run; controller_spec is its policy as a canonical JSON string (None
+    # = ControllerSpec defaults).  A plain string keeps the frozen
+    # dataclass hashable and round-trippable through the journal.
+    controller: bool = False
+    controller_spec: Optional[str] = None
 
     # --- observability (repro.obs) --------------------------------------
     # All off by default, and none of them perturbs the event calendar:
@@ -150,6 +176,18 @@ class Scenario:
             raise ValueError("trace occupancy interval cannot be negative (0 disables)")
         if self.trace_occupancy_interval_s > 0 and not self.trace_file:
             raise ValueError("trace occupancy sampling requires a trace_file")
+        if self.link_jitter_s < 0:
+            raise ValueError("link jitter cannot be negative")
+        if self.bg_diurnal_period_s < 0:
+            raise ValueError("diurnal period cannot be negative (0 disables)")
+        if not (0.0 <= self.bg_diurnal_amplitude < 1.0):
+            raise ValueError("diurnal amplitude must be in [0, 1)")
+        if self.controller_spec is not None:
+            # Parse eagerly (like the fault schedule below): a typoed spec
+            # fails at configuration time, not halfway into a sweep.
+            from repro.control.spec import ControllerSpec
+
+            ControllerSpec.from_json_text(self.controller_spec)
         if self.faults:
             # Parse eagerly so malformed rows fail at configuration time,
             # not halfway into a sweep.
@@ -255,6 +293,7 @@ class Scenario:
             seed=self.seed,
             trace_paths=trace_paths,
             scheduler=make_scheduler(max_pending_events=self.max_pending_events),
+            link_jitter_s=self.link_jitter_s,
         )
 
 
@@ -291,3 +330,65 @@ SCALED_DEFAULTS = Scenario(
     duration_s=0.400,
     drain_s=1.0,
 )
+
+# Hostile regime: a "space data center" — racks connected over long,
+# slow, jittery, outage-prone links (LEO crosslinks / ground relays)
+# instead of intra-building fiber.  Compared to the terrestrial points:
+#   * 50 Mbps links and link_delay_s=0.025 put the base RTT near 200 ms
+#     (8 link traversals on the leaf-spine round trip), so minRTO scales
+#     up to 250 ms; slow links mean incast bursts (12 x 10-pkt windows vs
+#     15-pkt buffers) take tens of ms to drain and genuinely collide;
+#   * link_jitter_s adds up to 5 ms of per-delivery propagation wobble,
+#     partially decorrelating the incast — mitigation must handle both
+#     the synchronized and the smeared arrivals;
+#   * Poisson flaps with ~1 s downtime model orbital handover outages —
+#     long enough that transports see whole RTO cycles of black-holing;
+#   * the diurnal background compresses a "day" of load swing into the
+#     run, so mitigation tuned at the trough meets the peak mid-run.
+SPACE_DC_DEFAULTS = Scenario(
+    name="space-dc",
+    topology="leafspine",
+    link_rate_bps=50e6,
+    link_delay_s=0.025,
+    link_jitter_s=0.005,
+    min_rto_s=0.25,
+    buffer_pkts=15,
+    ecn_threshold_pkts=5,
+    bg_interarrival_s=0.240,
+    bg_diurnal_period_s=2.0,
+    bg_diurnal_amplitude=0.6,
+    qps=20.0,
+    incast_degree=12,
+    response_bytes=40_000,
+    duration_s=1.0,
+    drain_s=2.0,
+    link_flap_rate=0.05,
+    link_flap_downtime_s=1.0,
+)
+
+
+def space_dc(scheme: str = "dibs", **overrides) -> Scenario:
+    """The space-DC hostile point for one scheme (plus ad-hoc overrides)."""
+    merged = dict(name=f"space-dc-{scheme}", scheme=scheme)
+    merged.update(overrides)  # caller overrides beat the family defaults
+    return SPACE_DC_DEFAULTS.with_overrides(**merged)
+
+
+def flap_storm(scheme: str = "dibs", **overrides) -> Scenario:
+    """Space-DC point under a flap storm: frequent, short link outages.
+
+    2 flaps per link per second with 5 ms downtime — the pathological
+    regime for DIBS, since every flap shrinks the detour mask and the
+    survivors absorb the detour load.  This is the cell where the
+    runtime controller's detour-storm breaker has to earn its keep.
+    """
+    merged = dict(
+        name=f"flap-storm-{scheme}",
+        scheme=scheme,
+        link_flap_rate=2.0,
+        link_flap_downtime_s=0.005,
+        duration_s=1.0,
+        drain_s=2.0,
+    )
+    merged.update(overrides)  # caller overrides beat the storm defaults
+    return SPACE_DC_DEFAULTS.with_overrides(**merged)

@@ -134,6 +134,10 @@ class FaultInjector:
                 node = self.network.node(name)
                 if isinstance(node, Switch):
                     node.refresh_fault_state()
+            # recompute_routes() bumps the topology generation itself (via
+            # the FIB install); the local-filter path must do it explicitly
+            # so controller actuator caches still invalidate.
+            self.network.note_topology_change()
 
     def _set_switch(self, name: str, failed: bool) -> None:
         switch = self.network.switch(name)
@@ -157,6 +161,7 @@ class FaultInjector:
         else:
             for sw in touched:
                 sw.refresh_fault_state()
+            self.network.note_topology_change()
 
 
 def install_faults(network: "Network", scenario) -> Optional[FaultInjector]:

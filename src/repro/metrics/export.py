@@ -142,6 +142,7 @@ def export_result_json(result: "ExperimentResult", path: PathLike) -> Path:
         "faults_applied": result.faults_applied,
         "fault_packets_killed": result.fault_packets_killed,
         "invariant_checks": result.invariant_checks,
+        "controller": result.controller_stats,
         "profile": result.profile,
     }
     out = Path(path)

@@ -101,6 +101,9 @@ class Port:
         "_txdone_seq",
         "_tx_end",
         "_fast_q",
+        "jitter_s",
+        "_jitter_rng",
+        "_last_arrival",
     )
 
     def __init__(self, node: Node, queue, rate_bps: float, delay_s: float) -> None:
@@ -150,6 +153,13 @@ class Port:
         self.elide_tx = os.environ.get("REPRO_ELIDE_TX", "1") != "0"
         self._txdone_seq = -1
         self._tx_end = 0.0
+        # Jittered propagation (hostile-regime scenarios, e.g. space-DC
+        # links): delay_s becomes the *minimum* delay and each delivery
+        # adds a uniform draw in [0, jitter_s) from a seeded stream.  None
+        # keeps the fixed-delay fast path untouched; see set_jitter().
+        self.jitter_s = 0.0
+        self._jitter_rng = None
+        self._last_arrival = 0.0
         # Queues whose enqueue-then-immediate-dequeue round trip is a
         # provable no-op on an empty queue (no drop below capacity, no
         # ECN mark at occupancy 1 <= threshold, no shared-pool state):
@@ -168,6 +178,33 @@ class Port:
     def tx_time(self, pkt: Packet) -> float:
         """Serialisation delay of ``pkt`` on this port."""
         return pkt.size * self._s_per_byte
+
+    # ------------------------------------------------------------------
+    def set_jitter(self, jitter_s: float, rng) -> None:
+        """Make the propagation delay a distribution: each delivery takes
+        ``delay_s`` plus a uniform draw in ``[0, jitter_s)`` from ``rng``.
+
+        ``rng`` must come from the network's seeded stream factory
+        (draws happen in event-dispatch order, which is deterministic, so
+        jittered runs replay bit-identically).  Arrival times are clamped
+        monotone per port — a link delivers in FIFO order no matter the
+        draw — which both models real links (no single-link reordering)
+        and preserves the ``_in_flight`` deque invariant.
+        """
+        if jitter_s < 0:
+            raise ValueError("jitter cannot be negative")
+        self.jitter_s = jitter_s
+        self._jitter_rng = rng if jitter_s > 0 else None
+
+    def _schedule_delivery(self, tx_end: float, pkt: Packet):
+        """Schedule ``pkt``'s arrival with jittered propagation (only
+        called when a jitter RNG is installed; the fixed-delay paths
+        schedule directly)."""
+        arrival = tx_end + self.delay_s + self.jitter_s * self._jitter_rng.random()
+        if arrival < self._last_arrival:
+            arrival = self._last_arrival  # FIFO clamp: links never reorder
+        self._last_arrival = arrival
+        return self.scheduler.schedule_at(arrival, self._deliver, pkt)
 
     # ------------------------------------------------------------------
     @property
@@ -285,8 +322,11 @@ class Port:
             seq = sched._seq
             sched._seq = seq + 1
             self._txdone_seq = seq
-            self._in_flight.append(
-                (sched.schedule_once(tx + self.delay_s, self._deliver, pkt), pkt))
+            if self._jitter_rng is None:
+                delivery = sched.schedule_once(tx + self.delay_s, self._deliver, pkt)
+            else:
+                delivery = self._schedule_delivery(self._tx_end, pkt)
+            self._in_flight.append((delivery, pkt))
             return True
         if not queue.enqueue(pkt):
             return False
@@ -378,7 +418,10 @@ class Port:
             # packet; propagation of the in-flight packet continues
             # independently.
             sched.schedule_once(tx, self._tx_next)
-        delivery = sched.schedule_once(tx + self.delay_s, self._deliver, pkt)
+        if self._jitter_rng is None:
+            delivery = sched.schedule_once(tx + self.delay_s, self._deliver, pkt)
+        else:
+            delivery = self._schedule_delivery(self._tx_end, pkt)
         self._in_flight.append((delivery, pkt))
 
     def _tx_done(self) -> None:

@@ -126,8 +126,11 @@ class Network:
         seed: int = 0,
         trace_paths: bool = False,
         scheduler: Optional[Scheduler] = None,
+        link_jitter_s: float = 0.0,
     ) -> None:
         topo.validate()
+        if link_jitter_s < 0:
+            raise ValueError("link jitter cannot be negative")
         self.topo = topo
         self.switch_queues = switch_queues if switch_queues is not None else SwitchQueueConfig()
         self.dibs = dibs if dibs is not None else DibsConfig.disabled()
@@ -148,9 +151,21 @@ class Network:
         # Attached by repro.faults.install_faults when the scenario carries
         # a fault schedule; None for a fault-free network.
         self.fault_injector = None
+        # Monotone counter bumped on every topology-visible transition
+        # (FIB installs/reroutes and injector-driven port up/down).  The
+        # runtime controller's actuator caches key on it, so a retune can
+        # never act on port/queue lists that predate a fault.
+        self.topology_generation = 0
 
         self._build_nodes()
         self._build_links()
+        if link_jitter_s > 0:
+            # One shared seeded stream: draws happen in event-dispatch
+            # order, so jittered delays are deterministic per seed.
+            jitter_rng = self.rngs.stream("link.jitter")
+            for node in self._nodes.values():
+                for port in node.ports:
+                    port.set_jitter(link_jitter_s, jitter_rng)
         self._install_fibs()
 
         self.pfc_controllers = []
@@ -250,6 +265,16 @@ class Network:
                 dst_id = self._nodes[dst_name].node_id
                 table[dst_id] = [self._port_index[(switch.name, hop)] for hop in next_hops]
             switch.install_fib(table)
+        self.note_topology_change()
+
+    def note_topology_change(self) -> None:
+        """Invalidate topology-derived caches (controller actuators).
+
+        Called on every FIB install/reroute and by the fault injector on
+        port up/down transitions that skip rerouting.  Code that flips
+        ``Port.up`` directly (outside the injector) should call this too.
+        """
+        self.topology_generation += 1
 
     def live_topology(self) -> Topology:
         """The current topology minus links with either direction down.

@@ -139,6 +139,10 @@ class EcnQueue(DropTailQueue):
     def counter_dict(self) -> dict[str, int]:
         counters = super().counter_dict()
         counters["ecn_marks"] = self.marks
+        # The live tunable (a gauge, not a cumulative count): snapshots and
+        # traces capture runtime-controller retunes, not just the static
+        # config the scenario started with.
+        counters["mark_threshold_pkts"] = self.mark_threshold_pkts
         return counters
 
 
@@ -212,6 +216,8 @@ class PFabricQueue:
             "enqueues": self.enqueues,
             "queue_drops": self.drops,
             "pfabric_evictions": self.evictions,
+            # pFabric's only tunable (gauge).
+            "capacity_pkts": self.capacity_pkts,
         }
 
     def clear(self) -> None:
@@ -316,11 +322,18 @@ class DynamicBufferQueue:
         return max(1, self.pool.total_bytes // MTU_BYTES)
 
     def counter_dict(self) -> dict[str, int]:
-        return {
+        counters = {
             "enqueues": self.enqueues,
             "queue_drops": self.drops,
             "ecn_marks": self.marks,
         }
+        # Live tunables (gauges): the ECN threshold when marking is on, and
+        # the shared pool's DBA alpha in milli-units (counter values stay
+        # integers), so traces capture runtime-controller retunes.
+        if self.mark_threshold_pkts is not None:
+            counters["mark_threshold_pkts"] = self.mark_threshold_pkts
+        counters["dba_alpha_milli"] = int(self.pool.alpha * 1000)
+        return counters
 
     def clear(self) -> None:
         """Discard all queued packets, returning their bytes to the shared

@@ -136,17 +136,44 @@ class Switch(Node):
         self.failed = False  # crashed switch (repro.faults SwitchFail)
         self.hop_limit = DEFAULT_HOP_LIMIT
         self.counters = SwitchCounters()
+        # Per-switch detour master switch, on top of the shared DibsConfig:
+        # the runtime controller's circuit breaker (repro.control) flips it
+        # to fail soft during a detour storm without touching the config
+        # object every other switch shares.
+        self.detour_enabled = True
+        self._recompute_detour_fastpath()
+        self.on_detour: Optional[Callable[[float, "Switch", Packet], None]] = None
+        self.on_drop: Optional[Callable[[float, "Switch", Packet, str], None]] = None
+
+    # ------------------------------------------------------------------
+    # DIBS enable/disable (runtime controller actuator)
+    # ------------------------------------------------------------------
+    def _recompute_detour_fastpath(self) -> None:
         # Hot-path specialization: every shipped policy except the
         # probabilistic one inherits the base trigger — "is the desired
         # queue full" — so that case is resolved once here and the
         # per-packet path skips the policy dispatch entirely.  A policy
         # overriding should_detour keeps the dynamic call.
         self._plain_detour = (
-            self.dibs.enabled
+            self.detour_enabled
+            and self.dibs.enabled
             and type(self.dibs.policy).should_detour is DetourPolicy.should_detour
         )
-        self.on_detour: Optional[Callable[[float, "Switch", Packet], None]] = None
-        self.on_drop: Optional[Callable[[float, "Switch", Packet, str], None]] = None
+
+    def set_detour_enabled(self, enabled: bool) -> None:
+        """Toggle detouring on this switch (circuit-breaker degraded mode).
+
+        With detouring off the switch behaves like a stock drop-tail/ECN
+        switch: a full desired queue means a drop.  The toggle goes
+        through :meth:`refresh_fault_state` — the same invalidation path a
+        fault transition takes — so the memoized ECMP picks are cleared
+        and no cached forwarding decision can straddle the mode change.
+        """
+        if enabled == self.detour_enabled:
+            return
+        self.detour_enabled = enabled
+        self._recompute_detour_fastpath()
+        self.refresh_fault_state()
 
     # ------------------------------------------------------------------
     # FIB
@@ -238,7 +265,11 @@ class Switch(Node):
             if full:
                 self._detour(pkt, desired, in_port)
                 return
-        elif self.dibs.enabled and self.dibs.policy.should_detour(pkt, desired, self.rng):
+        elif (
+            self.detour_enabled
+            and self.dibs.enabled
+            and self.dibs.policy.should_detour(pkt, desired, self.rng)
+        ):
             self._detour(pkt, desired, in_port)
             return
 

@@ -1,7 +1,7 @@
 """Workload generators: background, incast query, long-lived flows."""
 
 from repro.workload.admission import AdmissionController, AdmittedQueryTraffic
-from repro.workload.background import BackgroundTraffic
+from repro.workload.background import BackgroundTraffic, DiurnalBackgroundTraffic
 from repro.workload.distributions import (
     EmpiricalDistribution,
     fixed_size,
@@ -16,6 +16,7 @@ __all__ = [
     "AdmissionController",
     "AdmittedQueryTraffic",
     "BackgroundTraffic",
+    "DiurnalBackgroundTraffic",
     "QueryTraffic",
     "LongLivedFlows",
     "EmpiricalDistribution",

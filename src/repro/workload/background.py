@@ -9,6 +9,7 @@ scale background intensity (§5.4.1).
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Union
 
 from repro.metrics.collector import KIND_BACKGROUND
@@ -18,7 +19,7 @@ from repro.transport.pfabric import PFabricConfig
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.network import Network
 
-__all__ = ["BackgroundTraffic"]
+__all__ = ["BackgroundTraffic", "DiurnalBackgroundTraffic"]
 
 
 class BackgroundTraffic:
@@ -78,3 +79,68 @@ class BackgroundTraffic:
             dst = hosts[self.rng.randrange(len(hosts))]
             if dst is not src:
                 return dst
+
+
+class DiurnalBackgroundTraffic(BackgroundTraffic):
+    """Time-of-day-patterned background load (wanctl's Phase 2B idea).
+
+    The per-host arrival process becomes a *non-homogeneous* Poisson
+    process whose instantaneous rate follows a sinusoidal day cycle::
+
+        rate(t) = (1 / interarrival_s) * (1 + amplitude * sin(2*pi*t / period_s))
+
+    ``amplitude`` in ``[0, 1)`` sets how deep the trough and how tall the
+    peak are (0.6 means peak hours run 1.6x the mean rate and the night
+    trough 0.4x); ``period_s`` is the simulated length of one "day" —
+    scenarios compress a day into the run duration rather than simulating
+    86400 seconds.
+
+    Implemented by Lewis thinning: candidate arrivals are drawn at the
+    peak rate and accepted with probability ``rate(t) / peak_rate``.  Both
+    draws come from the same seeded stream in event order, so diurnal
+    runs replay bit-identically.
+    """
+
+    def __init__(
+        self,
+        network: "Network",
+        interarrival_s: float,
+        size_dist,
+        transport: Union[str, TcpConfig, PFabricConfig] = "dctcp",
+        stop_at: float = 1.0,
+        period_s: float = 1.0,
+        amplitude: float = 0.5,
+        rng_name: str = "workload.background",
+    ) -> None:
+        if period_s <= 0:
+            raise ValueError("diurnal period must be positive")
+        if not (0.0 <= amplitude < 1.0):
+            raise ValueError("diurnal amplitude must be in [0, 1)")
+        super().__init__(
+            network, interarrival_s, size_dist,
+            transport=transport, stop_at=stop_at, rng_name=rng_name,
+        )
+        self.period_s = period_s
+        self.amplitude = amplitude
+        self._peak = 1.0 + amplitude
+
+    def rate_multiplier(self, t: float) -> float:
+        """Instantaneous rate multiplier at simulated time ``t``."""
+        return 1.0 + self.amplitude * math.sin(2.0 * math.pi * t / self.period_s)
+
+    def _schedule_next(self, host) -> None:
+        # Candidate process at the peak rate; thinned in _candidate.
+        delay = self.rng.expovariate(self._peak / self.interarrival_s)
+        when = self.network.scheduler.now + delay
+        if when >= self.stop_at:
+            return
+        self.network.scheduler.schedule_at(when, self._candidate, host)
+
+    def _candidate(self, host) -> None:
+        now = self.network.scheduler.now
+        if self.rng.random() * self._peak <= self.rate_multiplier(now):
+            # Accepted: the base _arrival starts a flow and re-arms the
+            # candidate process via our _schedule_next override.
+            self._arrival(host)
+        else:
+            self._schedule_next(host)
