@@ -21,10 +21,17 @@ measured (and, with ``--check``, enforced):
    timing) is reported ungated for contrast.
 3. **Metrics are bit-identical either way.**  One scenario is run with
    every obs feature on (profile + heartbeat + trace + occupancy
-   sampling) and with everything off; every metric except wall time and
-   the instrumentation payloads must match byte for byte.  (The scenario
-   objects themselves legitimately differ — the obs knobs — so the
-   comparison covers the metrics payload, not the scenario echo.)
+   sampling + spans + timeseries + flight recorder) and with everything
+   off; every metric except wall time and the instrumentation payloads
+   must match byte for byte.  (The scenario objects themselves
+   legitimately differ — the obs knobs — so the comparison covers the
+   metrics payload, not the scenario echo.)
+4. **Span sampling is cheap.**  The incast packet pipeline with a
+   `SpanRecorder` at the default 1/64 rate versus the same pipeline
+   without one; a spans-off A/A arm measures the pipeline noise floor
+   (spans off *is* the plain pipeline: every per-packet check is a
+   `pkt.span is not None` slot test that exists either way).  Gate:
+   sampled slowdown <= 5% plus the observed noise floor.
 
 Both gates run on the controlled calendar, not on a full experiment,
 deliberately: an A/A test (two identical arms) of `run_scenario` wall
@@ -86,6 +93,8 @@ RAW_EVENTS = 20_000
 # faster loop; the absolute cost is unchanged and still gated.
 OFF_MODE_BUDGET = 0.02
 PROFILED_BUDGET = 0.08
+# Sampled span tracing (default 1/64 rate) on the incast pipeline.
+SPANS_BUDGET = 0.05
 
 # Maximum spread tolerated between the two identical "obs off" arms
 # before the gates are declared unenforceable on this machine: if two
@@ -182,8 +191,9 @@ def _experiment(profiled: bool) -> float:
     return time.perf_counter() - started
 
 
-def _pipeline(profiled: bool) -> float:
-    """Seconds to run the bare incast packet pipeline, optionally profiled."""
+def _pipeline(profiled: bool = False, span_rate: float = 0.0) -> float:
+    """Seconds to run the bare incast packet pipeline, optionally profiled
+    or with sampled span tracing attached."""
     net = Network(
         fat_tree(k=4),
         switch_queues=SwitchQueueConfig(buffer_pkts=30, ecn_threshold_pkts=8),
@@ -192,6 +202,11 @@ def _pipeline(profiled: bool) -> float:
     )
     if profiled:
         SchedulerProfiler().install(net.scheduler)
+    spans = None
+    if span_rate > 0:
+        from repro.obs.spans import SpanRecorder
+
+        spans = SpanRecorder(net, span_rate, seed=1).attach()
     flows = [
         net.start_flow(f"host_{i}", "host_0", 30_000, transport="dibs", kind="query")
         for i in range(1, 13)
@@ -200,6 +215,9 @@ def _pipeline(profiled: bool) -> float:
     net.run(until=2.0)
     elapsed = time.perf_counter() - started
     assert all(f.completed for f in flows)
+    if spans is not None:
+        spans.close()
+        assert spans.records  # the sampled arm must actually sample
     return elapsed
 
 
@@ -232,7 +250,8 @@ def _canonical_metrics(result) -> str:
     # construction* (one has the obs knobs set), so the scenario echo is
     # excluded; everything measured must still match byte for byte.
     payload = result_to_dict(result, include_scenario=False)
-    for name in ("wall_seconds", "run_loop_seconds", "profile", "collector"):
+    for name in ("wall_seconds", "run_loop_seconds", "profile", "collector",
+                 "timeseries"):
         payload.pop(name, None)
     return json.dumps(payload, sort_keys=True, default=str)
 
@@ -246,6 +265,9 @@ def _determinism_identical() -> bool:
             heartbeat_path=str(tmp / "hb.jsonl"),
             trace_file=str(tmp / "run.trace.jsonl"),
             trace_occupancy_interval_s=0.002,
+            span_sample_rate=0.25,
+            timeseries_interval_s=0.002,
+            flight_recorder_dir=str(tmp / "flight"),
         )
         on = run_scenario(instrumented)
         off = run_scenario(DETERMINISM_SCENARIO)
@@ -298,13 +320,31 @@ def run(full: bool = False, rounds: int = 5) -> tuple[str, list[str]]:
             break
         again = _interleaved_best(raw_arms, 3 * rounds, shuffle=True)
         raw = {name: min(raw[name], again[name]) for name in raw}
-    pipe = _interleaved_best(
-        {
-            "pipeline, obs off": lambda: _pipeline(profiled=False),
-            "pipeline, profiled": lambda: _pipeline(profiled=True),
-        },
-        rounds,
-    )
+    pipe_arms = {
+        "pipeline, obs off": lambda: _pipeline(),
+        # Identical to the arm above (spans off IS the plain pipeline):
+        # the spread between the two is the pipeline noise floor the
+        # spans gate credits.
+        "pipeline, spans off (A/A)": lambda: _pipeline(),
+        "pipeline, spans 1/64": lambda: _pipeline(span_rate=1.0 / 64.0),
+        "pipeline, profiled": lambda: _pipeline(profiled=True),
+    }
+
+    def _pipe_verdict(measured: dict) -> tuple:
+        """(aa_spread, spans_ratio, gate_ok) for a pipeline set."""
+        off_best = min(measured["pipeline, obs off"],
+                       measured["pipeline, spans off (A/A)"])
+        aa = abs(measured["pipeline, spans off (A/A)"]
+                 / measured["pipeline, obs off"] - 1.0)
+        spans_ratio = measured["pipeline, spans 1/64"] / off_best
+        return aa, spans_ratio, spans_ratio <= 1 + SPANS_BUDGET + aa
+
+    pipe = _interleaved_best(pipe_arms, rounds)
+    for _ in range(2):
+        if _pipe_verdict(pipe)[-1]:
+            break
+        again = _interleaved_best(pipe_arms, rounds)
+        pipe = {name: min(pipe[name], again[name]) for name in pipe}
     experiment = _interleaved_best(
         {
             "experiment, obs off": lambda: _experiment(profiled=False),
@@ -320,7 +360,10 @@ def run(full: bool = False, rounds: int = 5) -> tuple[str, list[str]]:
     off_best = min(raw["current loop, obs off"],
                    raw["current loop, obs off (A/A)"])
     exact_ratio = raw["current loop, profiled exact"] / off_best
-    pipe_ratio = pipe["pipeline, profiled"] / pipe["pipeline, obs off"]
+    pipe_aa, spans_ratio, _ = _pipe_verdict(pipe)
+    pipe_off_best = min(pipe["pipeline, obs off"],
+                        pipe["pipeline, spans off (A/A)"])
+    pipe_ratio = pipe["pipeline, profiled"] / pipe_off_best
     exp_ratio = experiment["experiment, profiled"] / experiment["experiment, obs off"]
 
     rows = [
@@ -350,9 +393,15 @@ def run(full: bool = False, rounds: int = 5) -> tuple[str, list[str]]:
         },
         {
             "arm": "packet pipeline, obs off",
-            "best_s": f"{pipe['pipeline, obs off']:.4f}",
+            "best_s": f"{pipe_off_best:.4f}",
             "events_per_s": "-",
             "vs_baseline": "1.000 (baseline)",
+        },
+        {
+            "arm": "packet pipeline, spans 1/64",
+            "best_s": f"{pipe['pipeline, spans 1/64']:.4f}",
+            "events_per_s": "-",
+            "vs_baseline": f"{spans_ratio:.3f} (gate <= {1 + SPANS_BUDGET:.2f})",
         },
         {
             "arm": "packet pipeline, profiled",
@@ -377,6 +426,10 @@ def run(full: bool = False, rounds: int = 5) -> tuple[str, list[str]]:
     text += (
         f"\nA/A noise floor (two identical obs-off arms): "
         f"{100 * aa_spread:.2f}% (tolerance {100 * AA_TOLERANCE:.1f}%)"
+    )
+    text += (
+        f"\npipeline A/A noise floor (two identical spans-off arms): "
+        f"{100 * pipe_aa:.2f}%"
     )
     text += "\nmetrics bit-identical with all obs on vs off: " + ("yes" if identical else "NO")
 
@@ -406,6 +459,12 @@ def run(full: bool = False, rounds: int = 5) -> tuple[str, list[str]]:
                 f"off-mode (budget {100 * PROFILED_BUDGET:.0f}% "
                 f"+ {100 * aa_spread:.2f}% noise floor)"
             )
+    if spans_ratio > 1 + SPANS_BUDGET + pipe_aa:
+        failures.append(
+            f"1/64-sampled span tracing is {100 * (spans_ratio - 1):.1f}% slower "
+            f"than the spans-off pipeline (budget {100 * SPANS_BUDGET:.0f}% "
+            f"+ {100 * pipe_aa:.2f}% noise floor)"
+        )
     if not identical:
         failures.append("metrics differ between obs-on and obs-off runs")
     return text, failures

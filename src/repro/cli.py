@@ -6,6 +6,8 @@ Commands
 ``sweep``    sweep one Scenario parameter across values and schemes
 ``replay``   re-execute a failure replay bundle from a journal
 ``trace``    summarize (or filter) a structured JSONL trace file
+``explain``  forensics on sampled spans: ranked FCT decomposition of the
+             slowest flows + a packet's detour odyssey
 ``schemes``  list available schemes and the Table 1/2 defaults
 ``topo``     describe a topology (sizes, degrees, diameter)
 
@@ -25,7 +27,11 @@ Observability flags (repro.obs) on ``run``/``sweep``: ``--profile``
 buckets scheduler wall time per callback category; ``--heartbeat S``
 emits progress JSONL every S wall seconds (``--heartbeat-path`` to a
 file, default stderr); ``--trace-file F`` records detours, drops, path
-and occupancy events as versioned JSONL readable by ``repro trace``.
+and occupancy events as versioned JSONL readable by ``repro trace``;
+``--spans`` (or ``--span-sample-rate R``) samples per-packet odyssey
+spans readable by ``repro explain``; ``--flight-recorder DIR`` dumps a
+ring of recent events on aborts/breaker trips; ``--timeseries-interval-s
+S`` samples goodput/utilization series into the artifact bundle.
 None of these perturbs the event calendar: metrics are bit-identical
 with instrumentation on or off.  ``run --out-dir DIR`` writes the full
 artifact bundle (CSVs, JSON, profile, trace) via
@@ -82,6 +88,8 @@ _NUMERIC_FIELDS = {
     "invariant_check_interval_s": float,
     "max_pending_events": int,
     "trace_occupancy_interval_s": float,
+    "span_sample_rate": float,
+    "timeseries_interval_s": float,
     "link_jitter_s": float,
     "bg_diurnal_period_s": float,
     "bg_diurnal_amplitude": float,
@@ -120,10 +128,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_p.add_argument("file", help="path to a .trace.jsonl file")
     trace_p.add_argument("--type", default=None, dest="record_type",
-                         choices=["meta", "detour", "drop", "occupancy", "path", "counters"],
+                         choices=["meta", "detour", "drop", "occupancy", "path",
+                                  "counters", "span"],
                          help="print matching records as JSONL instead of the summary")
     trace_p.add_argument("--limit", type=int, default=None,
                          help="stop after N records (with --type)")
+
+    explain_p = sub.add_parser(
+        "explain",
+        help="reconstruct sampled packet odysseys and rank flows by "
+             "tail-FCT decomposition (needs spans: run with --spans)",
+    )
+    explain_p.add_argument("target",
+                           help="a trace/spans .jsonl file, a flight-recorder dump, "
+                                "or an artifacts directory (--out-dir)")
+    explain_p.add_argument("--flows", type=int, default=10, dest="flow_limit",
+                           help="rows in the ranked attribution table (default: 10)")
+    explain_p.add_argument("--flow", type=int, default=None, dest="flow_id",
+                           help="also print the hop-by-hop odyssey of this flow's "
+                                "most-detoured span (default: the slowest flow)")
 
     replay_p = sub.add_parser(
         "replay",
@@ -188,6 +211,15 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
                         help="record a structured JSONL event trace to FILE "
                              "('{seed}' expands per seed); inspect with "
                              "'repro trace FILE'")
+    parser.add_argument("--spans", action="store_true",
+                        help="sample per-packet spans at the default 1/64 rate "
+                             "(equivalent to --span-sample-rate 0.015625); "
+                             "inspect with 'repro explain'")
+    parser.add_argument("--flight-recorder", default=None, dest="flight_recorder_dir",
+                        metavar="DIR",
+                        help="keep a ring of recent events and dump it into DIR "
+                             "on watchdog/invariant aborts and breaker trips "
+                             "('{seed}' expands per seed)")
 
 
 def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
@@ -247,6 +279,12 @@ def _scenario_from_args(args: argparse.Namespace) -> Scenario:
         overrides["heartbeat_path"] = args.heartbeat_path
     if getattr(args, "trace_file", None) is not None:
         overrides["trace_file"] = args.trace_file
+    if getattr(args, "spans", False) and "span_sample_rate" not in overrides:
+        from repro.obs.spans import DEFAULT_SPAN_RATE
+
+        overrides["span_sample_rate"] = DEFAULT_SPAN_RATE
+    if getattr(args, "flight_recorder_dir", None) is not None:
+        overrides["flight_recorder_dir"] = args.flight_recorder_dir
     return base.with_overrides(**overrides)
 
 
@@ -402,6 +440,41 @@ def _cmd_trace(args: argparse.Namespace) -> tuple[str, int]:
         return f"error: invalid trace: {exc}", 1
 
 
+def _cmd_explain(args: argparse.Namespace) -> tuple[str, int]:
+    """Forensics over sampled spans: attribution table + one odyssey."""
+    from repro.obs.forensics import (
+        attribute_flows,
+        format_attribution,
+        format_odyssey,
+        load_spans,
+        span_components,
+    )
+
+    try:
+        spans = load_spans(args.target)
+    except FileNotFoundError:
+        return f"error: no such file or directory: {args.target}", 1
+    except ValueError as exc:
+        return f"error: invalid trace: {exc}", 1
+    if not spans:
+        return (f"no span records in {args.target} "
+                "(sample spans with --spans / --span-sample-rate)"), 1
+    rows = attribute_flows(spans)
+    parts = [format_attribution(rows, limit=args.flow_limit)]
+    # Pick the flow to narrate: an explicit --flow, else the slowest
+    # (attribute_flows already ranks rows by span FCT, slowest first).
+    flow_id = args.flow_id if args.flow_id is not None else rows[0]["flow"]
+    candidates = [s for s in spans if s["flow"] == flow_id]
+    if not candidates:
+        parts.append(f"flow {flow_id}: no sampled spans")
+        return "\n\n".join(parts), 1
+    # Most-detoured span breaks ties by latest send: the storm survivor.
+    odyssey = max(candidates,
+                  key=lambda s: (span_components(s)["detour_hops"], s["t_send"]))
+    parts.append(format_odyssey(odyssey))
+    return "\n\n".join(parts), 0
+
+
 def _cmd_schemes() -> str:
     rows = [{"scheme": s} for s in SCHEMES]
     defaults = [
@@ -446,6 +519,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(text)
     elif args.command == "trace":
         text, code = _cmd_trace(args)
+        print(text)
+    elif args.command == "explain":
+        text, code = _cmd_explain(args)
         print(text)
     elif args.command == "schemes":
         print(_cmd_schemes())

@@ -107,6 +107,10 @@ class RuntimeController:
 
         self._breakers = {sw.name: _BreakerState() for sw in network.switches}
         self._hook_handle = None
+        # Optional repro.obs.forensics.FlightRecorder: a breaker trip is an
+        # anomaly worth a flight dump (the ring shows the detour storm that
+        # caused it).
+        self.recorder = None
 
     # ------------------------------------------------------------------
     def install(self) -> "RuntimeController":
@@ -174,6 +178,12 @@ class RuntimeController:
                 state.rearm_at = now + spec.cooldown_s
                 self.actuators.set_detour_enabled(switch, False)
                 self.breaker_trips += 1
+                if self.recorder is not None:
+                    self.recorder.dump(
+                        "breaker-trip",
+                        f"{switch.name}: {d_detours} detours vs "
+                        f"{d_forwards} forwards in window at t={now:.6f}s",
+                    )
 
         # --- windowed fabric signals -----------------------------------
         forwards = snapshot.total("forwards", "switch.")
@@ -304,6 +314,19 @@ class RuntimeController:
             ),
         )
         return counters
+
+    def heartbeat_dict(self) -> dict:
+        """Live control-plane state for :class:`repro.obs.heartbeat.SimHeartbeat`
+        records: current knob values and which switches are breaker-tripped."""
+        return {
+            "ecn_threshold_pkts": self._ecn_current,
+            "detour_cap": self._cap_current,
+            "dba_alpha": self._alpha_current,
+            "degraded_now": self.degraded_now,
+            "breakers_tripped": sorted(
+                name for name, state in self._breakers.items() if state.tripped
+            ),
+        }
 
     def stats_dict(self) -> dict[str, int]:
         """Cumulative counters only (safe to sum across pooled seeds);

@@ -11,6 +11,7 @@ from repro.faults.guards import InvariantChecker
 from repro.faults.injector import install_faults
 from repro.faults.watchdog import Watchdog
 from repro.metrics.stats import percentile
+from repro.sim.engine import SimulationError
 from repro.workload.background import BackgroundTraffic, DiurnalBackgroundTraffic
 from repro.workload.distributions import web_search_background
 from repro.workload.query import QueryTraffic
@@ -70,6 +71,16 @@ class ExperimentResult:
     # from merged results.
     profile: Optional[dict] = None
     collector: Optional[object] = field(default=None, repr=False, compare=False)
+    # Hook-driven goodput/utilization series (repro.metrics.timeseries);
+    # None unless scenario.timeseries_interval_s > 0.  Merged results hold
+    # {"per_seed": {...}} since per-seed series cannot be meaningfully
+    # summed.
+    timeseries: Optional[dict] = None
+    # Finished span records (repro.obs.spans); None unless
+    # scenario.span_sample_rate > 0.  In-memory only, like the collector:
+    # result_to_dict drops them (workers persist spans via the per-seed
+    # trace file instead).
+    span_records: Optional[list] = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     @property
@@ -120,6 +131,34 @@ class ExperimentResult:
         }
 
 
+def _recover_spans(scenario: Scenario, seeds) -> Optional[list]:
+    """Reload sampled spans from per-seed trace files.
+
+    Results that crossed a process boundary (``--workers``, journal
+    resume) drop their in-memory span records; when the scenario also
+    routed spans through a per-seed ``trace_file``, reading those files
+    back in seed order reproduces the serial merge bit-identically.
+    Returns ``None`` when spans weren't sampled, weren't persisted, or
+    any per-seed file is missing (a partial recovery would silently
+    misattribute, so none is returned at all).
+    """
+    if getattr(scenario, "span_sample_rate", 0) <= 0:
+        return None
+    trace_file = getattr(scenario, "trace_file", None)
+    if not trace_file or ("{seed}" not in trace_file and len(seeds) > 1):
+        return None
+    from repro.obs.trace import read_trace
+
+    records: list = []
+    for seed in seeds:
+        path = _expand_seed(trace_file, seed)
+        try:
+            records.extend(read_trace(path, kind="span"))
+        except FileNotFoundError:
+            return None
+    return records
+
+
 def _expand_seed(path: Optional[str], seed: int) -> Optional[str]:
     """Expand the ``{seed}`` placeholder in an output path, so per-seed
     runs of one scenario (serial or across workers) don't clobber each
@@ -149,17 +188,6 @@ def run_scenario(scenario: Scenario, trace_paths: bool = False) -> ExperimentRes
         from repro.obs.profiler import SchedulerProfiler
 
         profiler = SchedulerProfiler().install(network.scheduler)
-    heartbeat = None
-    if scenario.heartbeat_interval_s > 0:
-        from repro.obs.heartbeat import HeartbeatWriter, SimHeartbeat
-
-        hb_path = _expand_seed(scenario.heartbeat_path, scenario.seed)
-        heartbeat = SimHeartbeat(
-            HeartbeatWriter(hb_path),
-            scenario.heartbeat_interval_s,
-            label=scenario.name,
-            seed=scenario.seed,
-        ).install(network.scheduler)
     tracer = None
     if scenario.trace_file:
         from repro.obs.trace import TraceWriter
@@ -170,6 +198,36 @@ def run_scenario(scenario: Scenario, trace_paths: bool = False) -> ExperimentRes
             label=scenario.name,
             seed=scenario.seed,
         ).attach(network)
+    flight = None
+    if scenario.flight_recorder_dir:
+        from repro.obs.forensics import FlightRecorder
+
+        flight = FlightRecorder(
+            network,
+            _expand_seed(scenario.flight_recorder_dir, scenario.seed),
+            label=scenario.name,
+            seed=scenario.seed,
+        ).install()
+    spans = None
+    if scenario.span_sample_rate > 0:
+        from repro.obs.spans import SpanRecorder
+
+        spans = SpanRecorder(
+            network,
+            scenario.span_sample_rate,
+            seed=scenario.seed,
+            tracer=tracer,
+            flight=flight,
+        ).attach()
+    timeseries = None
+    if scenario.timeseries_interval_s > 0:
+        from repro.metrics.timeseries import TimeseriesRecorder
+
+        timeseries = TimeseriesRecorder(
+            network,
+            scenario.timeseries_interval_s,
+            collector=network.collector,
+        ).install()
 
     injector = install_faults(network, scenario)
     controller = None
@@ -181,17 +239,33 @@ def run_scenario(scenario: Scenario, trace_paths: bool = False) -> ExperimentRes
             spec=ControllerSpec.from_json_text(scenario.controller_spec),
             transport=transport,
         ).install()
+        controller.recorder = flight
+    heartbeat = None
+    if scenario.heartbeat_interval_s > 0:
+        from repro.obs.heartbeat import HeartbeatWriter, SimHeartbeat
+
+        hb_path = _expand_seed(scenario.heartbeat_path, scenario.seed)
+        heartbeat = SimHeartbeat(
+            HeartbeatWriter(hb_path),
+            scenario.heartbeat_interval_s,
+            label=scenario.name,
+            seed=scenario.seed,
+            controller=controller,
+        ).install(network.scheduler)
     if scenario.watchdog:
         # A packet legitimately traverses at most its initial TTL switch
         # hops; a healthy margin on top keeps the guard from ever firing on
         # a correct run while still bounding detour loops.
-        Watchdog(network.scheduler, max_hops=scenario.ttl + 16).install(network)
+        Watchdog(
+            network.scheduler, max_hops=scenario.ttl + 16, recorder=flight
+        ).install(network)
     checker = None
     if scenario.invariant_check_interval_s > 0:
         checker = InvariantChecker(
             network,
             scenario.invariant_check_interval_s,
             stop_at=scenario.duration_s + scenario.drain_s,
+            recorder=flight,
         ).start()
 
     background = None
@@ -229,7 +303,16 @@ def run_scenario(scenario: Scenario, trace_paths: bool = False) -> ExperimentRes
 
     run_started = time.perf_counter()
     try:
-        network.run(until=scenario.duration_s + scenario.drain_s)
+        try:
+            network.run(until=scenario.duration_s + scenario.drain_s)
+        except SimulationError as exc:
+            # Anomaly sources that cannot reach the flight recorder
+            # themselves (e.g. the switch hop guard raising LivelockError
+            # mid-pipeline) still get a dump; sources that already dumped
+            # (watchdog, invariant checker) are covered by the dedup below.
+            if flight is not None and not flight.dumps:
+                flight.dump("abort-" + type(exc).__name__, str(exc))
+            raise
         run_elapsed = time.perf_counter() - run_started
     finally:
         # Flush instrumentation even when a guard aborts the run: a partial
@@ -237,6 +320,13 @@ def run_scenario(scenario: Scenario, trace_paths: bool = False) -> ExperimentRes
         if heartbeat is not None:
             heartbeat.finish()
             heartbeat.writer.close()
+        if spans is not None:
+            # Before the tracer closes: still-live spans flush through it.
+            spans.close()
+        if timeseries is not None:
+            timeseries.uninstall()
+        if flight is not None:
+            flight.uninstall()
         if tracer is not None:
             tracer.close()
     if checker is not None:
@@ -276,6 +366,10 @@ def run_scenario(scenario: Scenario, trace_paths: bool = False) -> ExperimentRes
         result.invariant_checks = checker.checks_run
     if controller is not None:
         result.controller_stats = controller.stats_dict()
+    if spans is not None:
+        result.span_records = spans.records
+    if timeseries is not None:
+        result.timeseries = timeseries.as_dict()
     return result
 
 
@@ -343,6 +437,23 @@ def merge_results(scenario: Scenario, results: Sequence[ExperimentResult]) -> Ex
             pooled.queries.extend(result.collector.queries)
             pooled.fault_events.extend(result.collector.fault_events)
         merged.collector = pooled
+    if all(result.span_records is not None for result in results):
+        # Concatenate in the given (seed) order — span records carry their
+        # seed, so attribution stays per-(seed, flow) and deterministic.
+        merged.span_records = [
+            record for result in results for record in result.span_records
+        ]
+    ts_results = [result for result in results if result.timeseries is not None]
+    if ts_results:
+        if len(results) == 1:
+            merged.timeseries = dict(results[0].timeseries)
+        else:
+            merged.timeseries = {
+                "per_seed": {
+                    str(result.scenario.seed): result.timeseries
+                    for result in ts_results
+                }
+            }
     return merged
 
 
@@ -355,8 +466,10 @@ def result_to_dict(result: ExperimentResult, include_scenario: bool = True) -> d
     payload = {
         f.name: getattr(result, f.name)
         for f in fields(ExperimentResult)
-        # The collector holds live simulation objects; it stays behind.
-        if f.name not in ("scenario", "collector")
+        # The collector holds live simulation objects and span records can
+        # be bulky; both stay behind (workers persist spans through the
+        # per-seed trace file when one is configured).
+        if f.name not in ("scenario", "collector", "span_records")
     }
     payload["drops"] = dict(result.drops)
     payload["faults_applied"] = dict(result.faults_applied)
@@ -421,7 +534,7 @@ def run_pooled(
     if workers > 1 or telemetry is not None or journal is not None or heartbeat is not None:
         from repro.experiments.parallel import pooled_parallel
 
-        return pooled_parallel(
+        merged = pooled_parallel(
             scenario,
             seeds,
             workers=workers,
@@ -433,6 +546,9 @@ def run_pooled(
             resume=resume,
             heartbeat=heartbeat,
         )
+        if merged.span_records is None:
+            merged.span_records = _recover_spans(scenario, seeds)
+        return merged
     results = [
         run_scenario(scenario.with_overrides(seed=seed), trace_paths=trace_paths)
         for seed in seeds

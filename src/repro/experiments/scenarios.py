@@ -152,6 +152,16 @@ class Scenario:
     heartbeat_path: Optional[str] = None  # None = stderr; "{seed}" expands
     trace_file: Optional[str] = None  # structured JSONL trace; "{seed}" expands
     trace_occupancy_interval_s: float = 0.0  # 0 = no occupancy sampling
+    # Sampled per-packet span tracing (repro.obs.spans): fraction of
+    # (flow, seq) keys whose packets record a hop-by-hop span.  0 disables
+    # (the default: zero per-packet cost).
+    span_sample_rate: float = 0.0
+    # Flight recorder (repro.obs.forensics): directory for anomaly dump
+    # bundles ("{seed}" expands); None disables.
+    flight_recorder_dir: Optional[str] = None
+    # Hook-driven flow-goodput + port-utilization sampling
+    # (repro.metrics.timeseries); 0 disables.
+    timeseries_interval_s: float = 0.0
 
     # ------------------------------------------------------------------
     def with_overrides(self, **kwargs) -> "Scenario":
@@ -176,6 +186,10 @@ class Scenario:
             raise ValueError("trace occupancy interval cannot be negative (0 disables)")
         if self.trace_occupancy_interval_s > 0 and not self.trace_file:
             raise ValueError("trace occupancy sampling requires a trace_file")
+        if not (0.0 <= self.span_sample_rate <= 1.0):
+            raise ValueError("span sample rate must be in [0, 1] (0 disables)")
+        if self.timeseries_interval_s < 0:
+            raise ValueError("timeseries interval cannot be negative (0 disables)")
         if self.link_jitter_s < 0:
             raise ValueError("link jitter cannot be negative")
         if self.bg_diurnal_period_s < 0:

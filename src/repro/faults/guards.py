@@ -48,12 +48,16 @@ class InvariantChecker:
         network: "Network",
         interval_s: float,
         stop_at: Optional[float] = None,
+        recorder=None,
     ) -> None:
         if interval_s <= 0:
             raise ValueError("invariant check interval must be positive")
         self.network = network
         self.interval_s = interval_s
         self.stop_at = stop_at
+        # Optional repro.obs.forensics.FlightRecorder, dumped on the first
+        # violation so the state leading up to it is preserved.
+        self.recorder = recorder
         self.checks_run = 0
 
     def start(self) -> "InvariantChecker":
@@ -73,9 +77,14 @@ class InvariantChecker:
         first violation."""
         self.checks_run += 1
         now = self.network.scheduler.now
-        self._check_queues(now)
-        self._check_pools(now)
-        self._check_conservation(now)
+        try:
+            self._check_queues(now)
+            self._check_pools(now)
+            self._check_conservation(now)
+        except InvariantError as exc:
+            if self.recorder is not None:
+                self.recorder.dump("invariant", str(exc))
+            raise
 
     def _check_queues(self, now: float) -> None:
         for node in list(self.network.switches) + list(self.network.hosts):

@@ -44,6 +44,7 @@ class Watchdog:
         check_every_events: int = 100_000,
         stall_checks: int = 2,
         max_hops: Optional[int] = None,
+        recorder=None,
     ) -> None:
         if check_every_events < 1:
             raise ValueError("check interval must be at least one event")
@@ -53,6 +54,9 @@ class Watchdog:
         self.check_every_events = check_every_events
         self.stall_checks = stall_checks
         self.max_hops = max_hops
+        # Optional repro.obs.forensics.FlightRecorder, dumped just before a
+        # livelock abort — the ring holds the packet storm that caused it.
+        self.recorder = recorder
         self.checks_run = 0
         self._last_now: Optional[float] = None
         self._stalled_for = 0
@@ -77,11 +81,14 @@ class Watchdog:
         if self._last_now is not None and now == self._last_now:
             self._stalled_for += 1
             if self._stalled_for >= self.stall_checks:
-                raise LivelockError(
+                message = (
                     f"simulated time stuck at {now!r} for "
                     f"{self._stalled_for * self.check_every_events} events — "
                     f"likely a zero-delay event cycle (livelock)"
                 )
+                if self.recorder is not None:
+                    self.recorder.dump("watchdog-stall", message)
+                raise LivelockError(message)
         else:
             self._stalled_for = 0
         self._last_now = now

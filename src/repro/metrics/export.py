@@ -34,13 +34,15 @@ __all__ = ["write_artifacts", "MANIFEST_VERSION", "flows_to_records",
            "export_result_json", "export_telemetry_json"]
 
 # Bumped when the bundle layout (file names / manifest keys) changes.
-MANIFEST_VERSION = 1
+# v2: added spans.jsonl, fct_attribution.json, timeseries.json and the
+# rto_wait_s flow column.
+MANIFEST_VERSION = 2
 
 PathLike = Union[str, Path]
 
 _FLOW_FIELDS = [
     "flow_id", "kind", "src", "dst", "size", "start_time",
-    "receiver_done_time", "fct", "retransmits", "timeouts",
+    "receiver_done_time", "fct", "retransmits", "timeouts", "rto_wait_s",
     "packets_sent", "packets_received", "completed",
 ]
 
@@ -63,6 +65,7 @@ def flows_to_records(collector: "MetricsCollector") -> list[dict]:
                 "fct": flow.fct,
                 "retransmits": flow.retransmits,
                 "timeouts": flow.timeouts,
+                "rto_wait_s": flow.rto_wait_s,
                 "packets_sent": flow.packets_sent,
                 "packets_received": flow.packets_received,
                 "completed": flow.completed,
@@ -186,6 +189,9 @@ def write_artifacts(
     ``telemetry.json``   executor telemetry, when ``telemetry`` is given
     ``profile.json``     the scheduler profile alone, when profiled
     ``trace*.jsonl``     copies of the structured trace file(s)
+    ``spans.jsonl``      finished packet spans (``span_sample_rate > 0``)
+    ``fct_attribution.json``  per-flow FCT decomposition from the spans
+    ``timeseries.json``  goodput/utilization series (``timeseries_interval_s``)
     ``manifest.json``    index of the above + skip reasons
     ===================  ==============================================
 
@@ -230,6 +236,42 @@ def write_artifacts(
             if dst.resolve() != Path(src).resolve():
                 shutil.copyfile(src, dst)
             written["trace" if i == 0 else f"trace_{i}"] = dst
+
+    # Packet spans + the FCT attribution built from them.  In-memory
+    # records (serial runs) are authoritative; a result that crossed a
+    # process boundary recovers its spans from the copied trace files.
+    span_records = getattr(result, "span_records", None)
+    if span_records is None and getattr(result.scenario, "span_sample_rate", 0) > 0:
+        from repro.obs.trace import read_trace
+
+        recovered: list[dict] = []
+        for name in sorted(n for n in written if n.startswith("trace")):
+            recovered.extend(read_trace(written[name], kind="span"))
+        span_records = recovered or None
+        if span_records is None:
+            skipped["spans"] = (
+                "spans were sampled but neither in-memory records nor a "
+                "trace file reached the exporter"
+            )
+    if span_records:
+        from repro.obs.forensics import ATTRIBUTION_VERSION, attribute_flows
+
+        spans_path = out / "spans.jsonl"
+        with spans_path.open("w") as fh:
+            for record in span_records:
+                fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        written["spans"] = spans_path
+        attribution_path = out / "fct_attribution.json"
+        attribution_path.write_text(json.dumps({
+            "version": ATTRIBUTION_VERSION,
+            "flows": attribute_flows(span_records),
+        }, indent=2))
+        written["fct_attribution"] = attribution_path
+
+    if getattr(result, "timeseries", None):
+        timeseries_path = out / "timeseries.json"
+        timeseries_path.write_text(json.dumps(result.timeseries, indent=2))
+        written["timeseries"] = timeseries_path
 
     manifest = {
         "version": MANIFEST_VERSION,

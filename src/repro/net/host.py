@@ -34,6 +34,9 @@ class Host(Node):
         # Only consulted when the packet actually carries a path, so runs
         # without ``trace_paths`` never pay for it.
         self.on_path: Optional[Callable[[float, "Host", Packet], None]] = None
+        # Attached by repro.obs.spans.SpanRecorder; samples originated
+        # DATA packets for hop-by-hop span tracing.
+        self.span_recorder = None
 
     # ------------------------------------------------------------------
     @property
@@ -49,6 +52,8 @@ class Host(Node):
             pkt.path = []
         if pkt.path is not None:
             pkt.path.append(self.name)
+        if self.span_recorder is not None:
+            self.span_recorder.on_send(self, pkt)
         return self.nic.send(pkt)
 
     # ------------------------------------------------------------------
@@ -69,7 +74,16 @@ class Host(Node):
         if pkt.dst != self.node_id:
             # Hosts do not forward (§2 footnote 4).
             self.misdelivered += 1
+            if pkt.span is not None:
+                pkt.span.rec.finish(
+                    pkt.span, "dropped:misdelivered", self.scheduler.now,
+                    where=self.name,
+                )
             return
+        if pkt.span is not None:
+            pkt.span.rec.finish(
+                pkt.span, "delivered", self.scheduler.now, where=self.name
+            )
         if pkt.path is not None:
             pkt.path.append(self.name)
             if self.on_path is not None:

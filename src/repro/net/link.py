@@ -282,6 +282,11 @@ class Port:
         (or, for a down port, a recorded ``link_down`` drop)."""
         if not self.up:
             self.drops_link_down += 1
+            if pkt.span is not None:
+                pkt.span.rec.finish(
+                    pkt.span, "dropped:link_down", self.scheduler.now,
+                    where=self.node.name,
+                )
             return False
         seqr = self._txdone_seq
         if seqr >= 0:
@@ -317,6 +322,14 @@ class Port:
             self.busy_seconds += tx
             sched = self.scheduler
             self._tx_end = sched.now + tx
+            if pkt.span is not None:
+                hop = pkt.span.hops[-1]
+                hop["port"] = self.index
+                hop["t_q"] = sched.now
+                hop["t_tx"] = sched.now
+                hop["q_s"] = 0.0
+                hop["tx_s"] = tx
+                hop["prop_s"] = self.delay_s
             # Inlined Scheduler.reserve_seq (hot path; this whole branch is
             # gated on elide_tx, so the tx-done is always elided here).
             seq = sched._seq
@@ -329,7 +342,18 @@ class Port:
             self._in_flight.append((delivery, pkt))
             return True
         if not queue.enqueue(pkt):
+            # Tail drop.  Idempotent finish: the switch's _drop also
+            # observes this and fires first for switch-initiated drops.
+            if pkt.span is not None:
+                pkt.span.rec.finish(
+                    pkt.span, "dropped:overflow", self.scheduler.now,
+                    where=self.node.name,
+                )
             return False
+        if pkt.span is not None:
+            hop = pkt.span.hops[-1]
+            hop["port"] = self.index
+            hop["t_q"] = self.scheduler.now
         if self.on_queue_change is not None:
             self.on_queue_change(self)
         seqr = self._txdone_seq
@@ -404,6 +428,13 @@ class Port:
         self.busy_seconds += tx
         sched = self.scheduler
         self._tx_end = sched.now + tx
+        if pkt.span is not None:
+            hop = pkt.span.hops[-1]
+            now_t = sched.now
+            hop["t_tx"] = now_t
+            hop["q_s"] = now_t - hop.get("t_q", now_t)
+            hop["tx_s"] = tx
+            hop["prop_s"] = self.delay_s
         if self.elide_tx and not queue._q:
             # Nothing left to transmit when serialization ends: elide the
             # tx-done (reserve its sequence number so the total order is
@@ -443,6 +474,11 @@ class Port:
             # and is discarded — to the transport this is an ordinary loss.
             self.corrupt_next -= 1
             self.drops_corrupt += 1
+            if pkt.span is not None:
+                pkt.span.rec.finish(
+                    pkt.span, "dropped:corrupt", self.scheduler.now,
+                    where=self.peer_node.name,
+                )
             return
         receive(pkt, self.peer_port_index)
 
@@ -489,6 +525,10 @@ class Port:
             delivery.cancel()
             self.drops_link_down += 1
             self.bytes_killed += pkt.size
+            if pkt.span is not None:
+                pkt.span.rec.finish(
+                    pkt.span, "dropped:link_down", now, where=self.node.name
+                )
             killed += 1
         return killed
 

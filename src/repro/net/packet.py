@@ -67,6 +67,9 @@ class Packet:
         applied to this packet, ``hops`` counts switch traversals.
     path:
         Optional list of node names for tracing (enabled per-network).
+    span:
+        Sampled hop-by-hop span (see :mod:`repro.obs.spans`); ``None``
+        unless this transmission was sampled.
     is_retransmit:
         Marked by the sender so RTT sampling can apply Karn's rule.
     """
@@ -88,6 +91,7 @@ class Packet:
         "detours",
         "hops",
         "path",
+        "span",
         "is_retransmit",
         "sent_at",
         "sack",
@@ -125,6 +129,9 @@ class Packet:
         self.detours = 0
         self.hops = 0
         self.path: Optional[list[str]] = None
+        # Sampled span biography (repro.obs.spans.PacketSpan); None for the
+        # unsampled overwhelming majority.
+        self.span = None
         self.is_retransmit = False
         self.sent_at = 0.0
         # SACK blocks on an ACK: up to 3 (start, end) byte ranges the

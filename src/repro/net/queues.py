@@ -131,6 +131,8 @@ class EcnQueue(DropTailQueue):
         if pkt.ecn_capable and n + 1 > self.mark_threshold_pkts:
             pkt.ecn_ce = True
             self.marks += 1
+            if pkt.span is not None:
+                pkt.span.hops[-1]["ecn"] = True
         q.append(pkt)
         self.byte_count += pkt.size
         self.enqueues += 1
@@ -300,6 +302,8 @@ class DynamicBufferQueue:
         ):
             pkt.ecn_ce = True
             self.marks += 1
+            if pkt.span is not None:
+                pkt.span.hops[-1]["ecn"] = True
         self._q.append(pkt)
         self.byte_count += pkt.size
         self.pool.take(pkt.size)

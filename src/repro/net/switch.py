@@ -228,6 +228,11 @@ class Switch(Node):
             )
         if pkt.path is not None:
             pkt.path.append(self.name)
+        if pkt.span is not None:
+            # TTL recorded on arrival, before this hop's decrement.
+            pkt.span.hops.append(
+                {"node": self.name, "t_in": self.scheduler.now, "ttl": pkt.ttl}
+            )
 
         pkt.ttl -= 1
         if pkt.ttl <= 0:
@@ -312,6 +317,11 @@ class Switch(Node):
             return
         pkt.detours += 1
         self.counters.detours += 1
+        if pkt.span is not None:
+            hop = pkt.span.hops[-1]
+            hop["detour"] = True
+            hop["desired"] = desired.index
+            hop["cause"] = "queue_full" if desired.queue.is_full() else "policy"
         if self.on_detour is not None:
             self.on_detour(self.scheduler.now, self, pkt)
         # Candidates were filtered to up, non-full ports and nothing can run
@@ -336,6 +346,10 @@ class Switch(Node):
             self.counters.drops_switch_failed += 1
         else:
             self.counters.drops_overflow += 1
+        if pkt.span is not None:
+            pkt.span.rec.finish(
+                pkt.span, "dropped:" + reason, self.scheduler.now, where=self.name
+            )
         if self.on_drop is not None:
             self.on_drop(self.scheduler.now, self, pkt, reason)
 

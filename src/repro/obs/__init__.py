@@ -1,6 +1,6 @@
 """repro.obs — low-overhead observability for the simulator and executors.
 
-Four pieces, all opt-in and all free when off:
+Six pieces, all opt-in and all free when off:
 
 * :mod:`repro.obs.counters` — the hierarchical counter registry behind
   ``Network.counters()``: one snapshot call returns every per-switch,
@@ -14,6 +14,12 @@ Four pieces, all opt-in and all free when off:
 * :mod:`repro.obs.trace` — the versioned structured trace writer unifying
   detour/drop/occupancy/path events in one JSONL schema, plus the readers
   behind the ``repro trace`` CLI subcommand.
+* :mod:`repro.obs.spans` — deterministic sampled per-packet span tracing:
+  the hop-by-hop biography (queueing delay, detour cause, TTL, chosen
+  port) of each sampled packet.
+* :mod:`repro.obs.forensics` — what the spans are *for*: per-flow FCT
+  attribution, packet-odyssey rendering (the ``repro explain`` CLI), and
+  the anomaly flight recorder.
 
 Nothing here schedules simulator events: instrumentation rides the
 scheduler's run-loop hooks (:meth:`repro.sim.engine.Scheduler.add_hook`),
@@ -21,6 +27,14 @@ so identical seeds stay bit-identical with observability on or off.
 """
 
 from repro.obs.counters import CounterRegistry, CounterSnapshot
+from repro.obs.forensics import (
+    FlightRecorder,
+    attribute_flows,
+    format_attribution,
+    format_odyssey,
+    load_spans,
+    span_components,
+)
 from repro.obs.heartbeat import ExecutorHeartbeat, HeartbeatWriter, SimHeartbeat
 from repro.obs.profiler import (
     SchedulerProfiler,
@@ -29,6 +43,7 @@ from repro.obs.profiler import (
     profile_category,
     profile_table,
 )
+from repro.obs.spans import DEFAULT_SPAN_RATE, PacketSpan, SpanRecorder, span_sampled
 from repro.obs.trace import (
     TRACE_SCHEMA_VERSION,
     TraceWriter,
@@ -39,6 +54,16 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "DEFAULT_SPAN_RATE",
+    "PacketSpan",
+    "SpanRecorder",
+    "span_sampled",
+    "FlightRecorder",
+    "attribute_flows",
+    "span_components",
+    "format_attribution",
+    "format_odyssey",
+    "load_spans",
     "CounterRegistry",
     "CounterSnapshot",
     "SchedulerProfiler",

@@ -75,6 +75,7 @@ class SimHeartbeat:
         interval_s: float,
         label: Optional[str] = None,
         seed: Optional[int] = None,
+        controller=None,
     ) -> None:
         if interval_s <= 0:
             raise ValueError("heartbeat interval must be positive")
@@ -82,6 +83,10 @@ class SimHeartbeat:
         self.interval_s = interval_s
         self.label = label
         self.seed = seed
+        # Optional repro.control.RuntimeController: when attached, every
+        # record carries the live knob values and breaker states, so a tail
+        # of the heartbeat file shows what the control loop is doing.
+        self.controller = controller
         self._handle = None
         self._scheduler = None
         self._started_wall = 0.0
@@ -136,6 +141,8 @@ class SimHeartbeat:
             record["label"] = self.label
         if self.seed is not None:
             record["seed"] = self.seed
+        if self.controller is not None:
+            record["controller"] = self.controller.heartbeat_dict()
         if final:
             record["final"] = True
         self.writer.emit(record)

@@ -6,11 +6,12 @@ in-memory tuple layout, and per-packet paths lived only on ``Packet.path``.
 This module unifies all of them behind one on-disk format a ``repro trace``
 invocation can filter and summarize after the fact.
 
-Schema (version 1) — one JSON object per line, every record carrying:
+Schema (version 2) — one JSON object per line, every record carrying:
 
-* ``v`` — schema version (integer, currently 1),
+* ``v`` — schema version (integer, currently 2; version-1 files are still
+  read — v2 only *adds* the ``span`` record type),
 * ``type`` — ``meta`` | ``detour`` | ``drop`` | ``occupancy`` | ``path``
-  | ``counters``,
+  | ``counters`` | ``span``,
 * ``t`` — simulated time in seconds.
 
 Type-specific fields:
@@ -22,6 +23,8 @@ Type-specific fields:
 ``occupancy``   ``switch``, ``qlen`` (per-port packet counts)
 ``path``        ``host``, ``flow``, ``path`` (node names visited)
 ``counters``    ``counters`` (flat ``scope.counter -> value`` snapshot)
+``span``        ``flow``, ``seq``, ``status``, ``hops`` (hop-by-hop
+                biography of a sampled packet; see :mod:`repro.obs.spans`)
 ==============  =============================================================
 
 The writer attaches to a network by *chaining* the existing
@@ -34,6 +37,7 @@ never schedules events and the event calendar stays bit-identical.
 from __future__ import annotations
 
 import json
+import warnings
 from collections import Counter
 from pathlib import Path
 from typing import IO, Iterator, Optional, Sequence, Union
@@ -48,7 +52,11 @@ __all__ = [
     "format_trace_summary",
 ]
 
-TRACE_SCHEMA_VERSION = 1
+TRACE_SCHEMA_VERSION = 2
+
+# Versions a reader accepts: v2 added the span record type without
+# changing any v1 record, so v1 files remain readable.
+_SUPPORTED_VERSIONS = (1, 2)
 
 # Required fields beyond the common (v, type, t) triple.
 TRACE_TYPES: dict[str, tuple[str, ...]] = {
@@ -58,6 +66,7 @@ TRACE_TYPES: dict[str, tuple[str, ...]] = {
     "occupancy": ("switch", "qlen"),
     "path": ("host", "flow", "path"),
     "counters": ("counters",),
+    "span": ("flow", "seq", "status", "hops"),
 }
 
 # How often (processed events) the occupancy hook compares sim time against
@@ -144,6 +153,14 @@ class TraceWriter:
         self.close()
 
     # ------------------------------------------------------------------
+    def write_record(self, record: dict) -> None:
+        """Write one externally-built record (e.g. a finished span from
+        :class:`repro.obs.spans.SpanRecorder`).  No-op when the writer is
+        not open."""
+        if self._fh is None:
+            return
+        self._write(record)
+
     def _write(self, record: dict) -> None:
         self._fh.write(json.dumps(record, separators=(",", ":"), default=str) + "\n")
         self.records_written += 1
@@ -196,11 +213,11 @@ class TraceWriter:
 # readers
 # ----------------------------------------------------------------------
 def validate_record(record: dict) -> dict:
-    """Validate one trace record against the v1 schema; returns it."""
+    """Validate one trace record against the schema; returns it."""
     if not isinstance(record, dict):
         raise ValueError(f"trace record must be an object, got {type(record).__name__}")
     version = record.get("v")
-    if version != TRACE_SCHEMA_VERSION:
+    if version not in _SUPPORTED_VERSIONS:
         raise ValueError(f"unsupported trace schema version {version!r}")
     kind = record.get("type")
     if kind not in TRACE_TYPES:
@@ -214,18 +231,43 @@ def validate_record(record: dict) -> dict:
 
 
 def read_trace(path: Union[str, Path], kind: Optional[str] = None) -> Iterator[dict]:
-    """Yield validated records from a trace file, optionally one type only."""
+    """Yield validated records from a trace file, optionally one type only.
+
+    A truncated *final* line — the torn write a SIGKILL or power loss
+    leaves behind — is tolerated: complete records are yielded and a
+    ``RuntimeWarning`` is issued.  Malformed JSON anywhere *before* the
+    last line, and any record that parses but violates the schema, still
+    raise ``ValueError`` (those indicate corruption, not a torn tail).
+    """
+    torn = None
     with Path(path).open() as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
             if not line:
                 continue
+            if torn is not None:
+                # A complete line after the malformed one: not a torn
+                # tail but mid-file corruption.
+                torn_lineno, torn_exc = torn
+                raise ValueError(f"{path}:{torn_lineno}: {torn_exc}") from torn_exc
             try:
-                record = validate_record(json.loads(line))
-            except (json.JSONDecodeError, ValueError) as exc:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                torn = (lineno, exc)
+                continue
+            try:
+                record = validate_record(record)
+            except ValueError as exc:
                 raise ValueError(f"{path}:{lineno}: {exc}") from exc
             if kind is None or record["type"] == kind:
                 yield record
+    if torn is not None:
+        warnings.warn(
+            f"{path}:{torn[0]}: ignoring truncated final trace line "
+            "(torn write from an interrupted run)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
 
 
 def summarize_trace(path: Union[str, Path]) -> dict:

@@ -126,6 +126,7 @@ class FlowHandle:
         "receiver_done_time",
         "retransmits",
         "timeouts",
+        "rto_wait_s",
         "packets_sent",
         "packets_received",
         "acks_sent",
@@ -146,6 +147,10 @@ class FlowHandle:
         self.receiver_done_time: Optional[float] = None
         self.retransmits = 0
         self.timeouts = 0
+        # Simulated seconds this flow sat waiting for RTO timers that
+        # fired (summed armed-RTO durations); the retransmit/RTO component
+        # of the forensics FCT decomposition.
+        self.rto_wait_s = 0.0
         self.packets_sent = 0
         self.packets_received = 0
         self.acks_sent = 0

@@ -51,6 +51,7 @@ class TcpSender:
         "rttvar",
         "rto",
         "_rto_timer",
+        "_armed_rto",
         "_send_times",
         "alpha",
         "_dctcp_window_end",
@@ -82,6 +83,7 @@ class TcpSender:
         self.rttvar = 0.0
         self.rto = config.min_rto
         self._rto_timer: Optional[Event] = None
+        self._armed_rto = 0.0
         self._send_times: dict[int, float] = {}
 
         # DCTCP estimator state [18].
@@ -329,6 +331,7 @@ class TcpSender:
     def _arm_timer(self) -> None:
         if self._rto_timer is not None:
             self._rto_timer.cancel()
+        self._armed_rto = self.rto
         self._rto_timer = self.scheduler.schedule(self.rto, self._on_timeout)
 
     def _cancel_timer(self) -> None:
@@ -344,6 +347,9 @@ class TcpSender:
             return  # nothing outstanding
         cfg = self.config
         self.flow.timeouts += 1
+        # The flow spent this timer's whole armed duration waiting; the
+        # forensics layer reports the sum as the RTO component of FCT.
+        self.flow.rto_wait_s += self._armed_rto
         flight = self.next_seq - self.snd_una
         self.ssthresh = max(2.0 * cfg.mss, flight / 2.0)
         self.cwnd = float(cfg.mss)

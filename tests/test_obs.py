@@ -339,10 +339,29 @@ class TestTraceSchema:
             validate_record({"v": 1, "type": "meta"})
 
     def test_read_trace_reports_line_numbers(self, tmp_path):
+        # Mid-file corruption (a non-JSON line with real records after it)
+        # is a broken trace and still raises with the line number ...
         path = tmp_path / "bad.jsonl"
-        path.write_text('{"v":1,"type":"meta","t":0}\nnot json\n')
+        path.write_text('{"v":1,"type":"meta","t":0}\n'
+                        'not json\n'
+                        '{"v":1,"type":"meta","t":1}\n')
         with pytest.raises(ValueError, match="bad.jsonl:2"):
             list(read_trace(path))
+
+    def test_read_trace_tolerates_torn_final_line(self, tmp_path):
+        # ... but a truncated FINAL line is the signature of a torn write
+        # from an interrupted run: yield the complete records and warn.
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"v":1,"type":"meta","t":0}\n'
+                        '{"v":1,"type":"drop","t":1,"node":"s","flow":1,"reason":"over')
+        with pytest.warns(RuntimeWarning, match="torn.jsonl:2.*truncated final"):
+            records = list(read_trace(path))
+        assert [r["type"] for r in records] == ["meta"]
+        # Schema violations on a complete final line are still errors.
+        path2 = tmp_path / "schema.jsonl"
+        path2.write_text('{"v":1,"type":"meta","t":0}\n{"v":99,"type":"meta","t":1}\n')
+        with pytest.raises(ValueError, match="version"):
+            list(read_trace(path2))
 
     def test_summary_round_trip(self, tmp_path):
         path = tmp_path / "run.trace.jsonl"
@@ -440,7 +459,8 @@ class TestWriteArtifacts:
         assert names >= {"result.json", "flows.csv", "queries.csv",
                          "profile.json", "run.trace.jsonl", "manifest.json"}
         manifest = json.loads((out / "manifest.json").read_text())
-        assert manifest["version"] == 1
+        from repro.metrics.export import MANIFEST_VERSION
+        assert manifest["version"] == MANIFEST_VERSION
         assert manifest["skipped"] == {}
         payload = json.loads((out / "result.json").read_text())
         assert payload["profile"]["total_events"] == result.events
