@@ -10,10 +10,16 @@ Commands
              slowest flows + a packet's detour odyssey
 ``schemes``  list available schemes and the Table 1/2 defaults
 ``topo``     describe a topology (sizes, degrees, diameter)
+``serve``    run the async job server (admission control, per-tenant
+             fairness, crash retries, graceful SIGTERM drain)
+``jobs``     inspect a journal directory: completed entries and failure
+             replay bundles
 
 Examples::
 
     python -m repro run --scheme dibs --qps 125 --seeds 0,1,2
+    python -m repro serve --state-dir runs/service --workers 4 --port 8642
+    python -m repro jobs runs/service
     python -m repro run --scheme dibs --profile --trace-file run.trace.jsonl
     python -m repro trace run.trace.jsonl
     python -m repro sweep --param buffer_pkts --values 5,10,25,50 \
@@ -153,6 +159,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-execute a failure replay bundle written under --journal-dir",
     )
     replay_p.add_argument("bundle", help="path to a failures/<hash>.bundle.json")
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the HTTP job server (see repro.server): journal-deduped "
+             "scenario runs with admission control, per-tenant DRR fairness, "
+             "crash retries, circuit breaking, and graceful SIGTERM drain",
+    )
+    serve_p.add_argument("--state-dir", required=True, dest="state_dir", metavar="DIR",
+                         help="durable state: run journal, failures/, spool.json, "
+                              "heartbeat.jsonl")
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8642,
+                         help="listen port (0 = ephemeral; the bound port is "
+                              "announced as a JSON line on stdout)")
+    serve_p.add_argument("--workers", type=int, default=2,
+                         help="simulation worker processes (default: 2)")
+    serve_p.add_argument("--max-retries", type=int, default=2, dest="max_retries",
+                         help="retries per job after a transient failure (default: 2)")
+    serve_p.add_argument("--run-timeout", type=float, default=None, dest="run_timeout",
+                         help="per-run timeout in seconds (escalates x1.5 per retry)")
+    serve_p.add_argument("--rate", type=float, default=20.0, dest="rate_per_s",
+                         help="sustained admission rate, jobs/second (default: 20)")
+    serve_p.add_argument("--burst", type=int, default=20,
+                         help="admission token-bucket burst (default: 20)")
+    serve_p.add_argument("--max-queued", type=int, default=64, dest="max_queued",
+                         help="hard queue-depth bound; beyond it submissions shed "
+                              "with 503 + Retry-After (default: 64)")
+    serve_p.add_argument("--breaker-threshold", type=int, default=3,
+                         dest="breaker_threshold",
+                         help="consecutive permanent failures that trip a scenario "
+                              "class's circuit breaker (default: 3)")
+    serve_p.add_argument("--breaker-cooldown", type=float, default=30.0,
+                         dest="breaker_cooldown",
+                         help="seconds an open breaker waits before half-opening "
+                              "(default: 30)")
+    serve_p.add_argument("--quantum", type=int, default=1,
+                         help="DRR quantum: launches granted per tenant per ring "
+                              "sweep (default: 1)")
+    serve_p.add_argument("--heartbeat", type=float, default=5.0,
+                         dest="heartbeat_interval",
+                         help="seconds between heartbeat.jsonl progress records "
+                              "(default: 5)")
+    serve_p.add_argument("--drain-timeout", type=float, default=60.0,
+                         dest="drain_timeout",
+                         help="seconds SIGTERM waits for in-flight runs before "
+                              "spooling them (default: 60)")
+
+    jobs_p = sub.add_parser(
+        "jobs",
+        help="list a journal directory's completed entries and failure bundles",
+    )
+    jobs_p.add_argument("journal_dir", metavar="JOURNAL_DIR",
+                        help="a --journal-dir / serve --state-dir directory")
+    jobs_p.add_argument("--failures", action="store_true",
+                        help="show only failure replay bundles")
+    jobs_p.add_argument("--limit", type=int, default=None,
+                        help="show at most N rows per section (newest first)")
 
     sub.add_parser("schemes", help="list schemes and defaults")
 
@@ -475,6 +538,86 @@ def _cmd_explain(args: argparse.Namespace) -> tuple[str, int]:
     return "\n\n".join(parts), 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the job server until SIGTERM/SIGINT; exits 0 on a clean drain."""
+    from repro.server import serve_main
+
+    return serve_main(
+        args.state_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_retries=args.max_retries,
+        run_timeout_s=args.run_timeout,
+        rate_per_s=args.rate_per_s,
+        burst=args.burst,
+        max_queued=args.max_queued,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        quantum=args.quantum,
+        heartbeat_interval_s=args.heartbeat_interval,
+        drain_timeout_s=args.drain_timeout,
+    )
+
+
+def _cmd_jobs(args: argparse.Namespace) -> tuple[str, int]:
+    """List a journal directory: completed entries + failure bundles."""
+    import os.path
+
+    if not os.path.isdir(args.journal_dir):
+        return f"error: no such journal directory: {args.journal_dir}", 1
+    journal = RunJournal(args.journal_dir)
+    sections = []
+
+    def clip(rows):
+        rows.sort(key=lambda r: r.pop("_mtime"), reverse=True)
+        return rows[: args.limit] if args.limit is not None else rows
+
+    if not args.failures:
+        entries = []
+        for entry in journal.iter_entries():
+            scenario = entry.get("scenario") or {}
+            result = entry.get("result") or {}
+            entries.append({
+                "key": entry.get("hash", "")[:12],
+                "scenario": f"{scenario.get('name')}:{scenario.get('scheme')}",
+                "seed": scenario.get("seed"),
+                "status": "ok",
+                "attempts": len(entry.get("attempts") or ()) + 1,
+                "wall_s": f"{float(result.get('wall_seconds') or 0.0):.2f}",
+                "events": result.get("events"),
+                "_mtime": entry.get("_mtime", 0.0),
+            })
+        if entries:
+            sections.append(format_table(
+                clip(entries), title=f"journaled runs ({len(entries)})"))
+    bundles = []
+    for bundle in journal.iter_bundles():
+        attempts = bundle.get("attempts") or ()
+        last_wall = attempts[-1].get("wall_s") if attempts else None
+        bundles.append({
+            "key": bundle.get("hash", "")[:12],
+            "scenario": bundle.get("scenario_class")
+            or f"{(bundle.get('scenario') or {}).get('name')}:"
+               f"{(bundle.get('scenario') or {}).get('scheme')}",
+            "seed": bundle.get("seed"),
+            "status": "failed",
+            "attempts": len(attempts),
+            "wall_s": f"{float(last_wall or 0.0):.2f}",
+            "reason": str(bundle.get("reason", ""))[:48],
+            "_mtime": bundle.get("_mtime", 0.0),
+        })
+    if bundles:
+        sections.append(format_table(
+            clip(bundles), title=f"failure bundles ({len(bundles)})"))
+    stats = journal.stats()
+    sections.append(
+        f"{stats['entries']} journaled, {stats['failure_bundles']} failed, "
+        f"{stats['claims']} claimed in {args.journal_dir}"
+    )
+    return "\n\n".join(sections), 0
+
+
 def _cmd_schemes() -> str:
     rows = [{"scheme": s} for s in SCHEMES]
     defaults = [
@@ -522,6 +665,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(text)
     elif args.command == "explain":
         text, code = _cmd_explain(args)
+        print(text)
+    elif args.command == "serve":
+        code = _cmd_serve(args)
+    elif args.command == "jobs":
+        text, code = _cmd_jobs(args)
         print(text)
     elif args.command == "schemes":
         print(_cmd_schemes())

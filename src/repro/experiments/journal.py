@@ -27,12 +27,26 @@ re-entrant:
   worker traceback.  ``repro replay bundle.json`` re-executes the scenario
   from the bundle alone and checks the same exception class reproduces.
 
+* **Execution claims** — two processes sharing a journal directory (two
+  ``--resume`` sweeps, or two ``repro serve`` replicas) can both miss the
+  same content key and double-run it.  :meth:`RunJournal.try_claim`
+  creates ``<hash>.claim`` with ``O_CREAT | O_EXCL`` — an atomic
+  filesystem mutex — so exactly one process executes the cell while the
+  others wait for the entry to land.  A claim whose owner pid is dead, or
+  that is older than the TTL, reads as stale and can be taken over, so a
+  SIGKILLed claimant never wedges the grid.
+
 Directory layout::
 
     <journal-dir>/
         <scenario-hash>.json            one completed cell (schema v1)
+        <scenario-hash>.claim           execution claim (transient)
         failures/
             <scenario-hash>.bundle.json replay bundle for a failed cell
+
+``failures/`` is bounded: at most ``max_bundles_per_class`` bundles are
+retained per scenario class (``<name>:<scheme>``) — newest first — so a
+crash-looping submitter cannot fill the disk with replay bundles.
 
 Nothing is buffered in memory: every write is flushed at cell granularity,
 so "flushing the journal" on shutdown is a no-op by construction.
@@ -44,23 +58,35 @@ import hashlib
 import json
 import os
 import re
+import time
 from dataclasses import asdict
 from pathlib import Path
-from typing import Optional, Sequence, Union
+from typing import Iterator, Optional, Sequence, Union
 
 from repro.experiments.runner import ExperimentResult, result_from_dict, result_to_dict
 from repro.experiments.scenarios import Scenario
 
 __all__ = [
     "SCHEMA_VERSION",
+    "DEFAULT_CLAIM_TTL_S",
+    "DEFAULT_MAX_BUNDLES_PER_CLASS",
     "RunJournal",
     "scenario_hash",
+    "scenario_class",
     "scenario_from_json_dict",
     "load_replay_bundle",
     "exception_class_from_reason",
 ]
 
 SCHEMA_VERSION = 1
+
+# A claim older than this is presumed abandoned even if its pid check is
+# inconclusive (e.g. the pid was recycled).  Generous: a legitimate cell
+# run at full paper scale is minutes, not hours.
+DEFAULT_CLAIM_TTL_S = 3600.0
+
+# Newest replay bundles retained per scenario class before pruning.
+DEFAULT_MAX_BUNDLES_PER_CLASS = 16
 
 # "ValueError: ..." / "LivelockError: ..." -> the class name; reasons like
 # "timeout after 5s" or "worker crashed (exit code -9)" yield None.
@@ -84,6 +110,16 @@ def scenario_hash(scenario: Scenario, trace_paths: bool = False) -> str:
         default=str,
     )
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def scenario_class(scenario: Scenario) -> str:
+    """Coarse grouping key for failure bundling and circuit breaking.
+
+    ``<name>:<scheme>`` groups every seed/value variation of one logical
+    experiment: a crash-looping tenant's submissions share a class no
+    matter how many distinct seeds they burn through.
+    """
+    return f"{scenario.name}:{scenario.scheme}"
 
 
 def scenario_from_json_dict(data: dict) -> Scenario:
@@ -115,10 +151,17 @@ def _atomic_write_json(path: Path, payload: dict) -> Path:
 class RunJournal:
     """A directory of durable, content-keyed per-run checkpoints."""
 
-    def __init__(self, directory: PathLike) -> None:
+    def __init__(
+        self,
+        directory: PathLike,
+        max_bundles_per_class: int = DEFAULT_MAX_BUNDLES_PER_CLASS,
+        claim_ttl_s: float = DEFAULT_CLAIM_TTL_S,
+    ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.failures_dir = self.directory / "failures"
+        self.max_bundles_per_class = max_bundles_per_class
+        self.claim_ttl_s = claim_ttl_s
 
     # ------------------------------------------------------------------
     # paths
@@ -129,9 +172,83 @@ class RunJournal:
     def bundle_path(self, request) -> Path:
         return self.failures_dir / f"{self._hash(request)}.bundle.json"
 
+    def claim_path(self, request) -> Path:
+        return self.directory / f"{self._hash(request)}.claim"
+
     @staticmethod
     def _hash(request) -> str:
         return scenario_hash(request.scenario, trace_paths=request.trace_paths)
+
+    # ------------------------------------------------------------------
+    # execution claims
+    # ------------------------------------------------------------------
+    def try_claim(self, request) -> bool:
+        """Atomically claim the right to execute this cell.
+
+        Creates ``<hash>.claim`` with ``O_CREAT | O_EXCL`` — the classic
+        filesystem mutex — carrying the claimant's pid and wall time.
+        Returns ``False`` when a *live* claim is already held elsewhere.
+        A stale claim (dead owner pid on this host, or older than
+        ``claim_ttl_s``) is removed and re-contested; the loser of that
+        re-contest sees the winner's fresh claim and backs off.
+
+        The claim is an execution-dedupe optimisation, not a correctness
+        gate: entry writes stay atomic and content-addressed, so even a
+        pathological double-claim converges on one identical entry.
+        """
+        path = self.claim_path(request)
+        payload = json.dumps(
+            {"pid": os.getpid(), "time": time.time(), "key": str(request.key)},
+            separators=(",", ":"),
+        )
+        for _ in range(8):  # bounded re-contests of stale claims
+            try:
+                fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+            except FileExistsError:
+                if self._claim_is_stale(path):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+                    continue
+                return False
+            except OSError:  # pragma: no cover - unwritable directory
+                return False
+            with os.fdopen(fd, "w") as fh:
+                fh.write(payload)
+            return True
+        return False  # pragma: no cover - perpetual stale-claim churn
+
+    def release_claim(self, request) -> None:
+        """Drop the execution claim (idempotent; missing file is fine)."""
+        try:
+            self.claim_path(request).unlink()
+        except OSError:
+            pass
+
+    def claim_count(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.claim"))
+
+    def _claim_is_stale(self, path: Path) -> bool:
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            # Torn or vanished: fall back to the file clock.
+            try:
+                return (time.time() - path.stat().st_mtime) > self.claim_ttl_s
+            except OSError:
+                return False  # gone already - the create loop re-contests
+        if time.time() - float(data.get("time") or 0) > self.claim_ttl_s:
+            return True
+        pid = data.get("pid")
+        if isinstance(pid, int) and pid > 0:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                return True  # owner died without releasing
+            except OSError:
+                return False  # alive but not ours (EPERM) or unknowable
+        return False
 
     # ------------------------------------------------------------------
     # read side
@@ -190,6 +307,8 @@ class RunJournal:
                 stale_bundle.unlink()
             except OSError:  # pragma: no cover - best effort
                 pass
+        # The entry now exists, so any execution claim is moot.
+        self.release_claim(request)
         return path
 
     def record_failure(
@@ -199,7 +318,12 @@ class RunJournal:
         attempts: Sequence[dict],
         traceback_text: Optional[str] = None,
     ) -> Path:
-        """Dump a self-contained replay bundle for a permanently failed run."""
+        """Dump a self-contained replay bundle for a permanently failed run.
+
+        The bundle directory stays bounded: after the write, bundles of the
+        same scenario class beyond ``max_bundles_per_class`` (newest first)
+        are pruned, so a crash-looping scenario class cannot fill the disk.
+        """
         self.failures_dir.mkdir(parents=True, exist_ok=True)
         bundle = {
             "schema": SCHEMA_VERSION,
@@ -207,6 +331,7 @@ class RunJournal:
             "hash": self._hash(request),
             "key": str(request.key),
             "scenario": asdict(request.scenario),
+            "scenario_class": scenario_class(request.scenario),
             "trace_paths": request.trace_paths,
             "seed": request.scenario.seed,
             "faults": request.scenario.faults,
@@ -215,7 +340,94 @@ class RunJournal:
             "attempts": list(attempts),
             "traceback": traceback_text,
         }
-        return _atomic_write_json(self.bundle_path(request), bundle)
+        path = _atomic_write_json(self.bundle_path(request), bundle)
+        self.release_claim(request)
+        self._prune_bundles(scenario_class(request.scenario), keep=path)
+        return path
+
+    def _prune_bundles(self, cls: str, keep: Optional[Path] = None) -> int:
+        """Retain only the newest ``max_bundles_per_class`` bundles of ``cls``."""
+        if self.max_bundles_per_class <= 0:
+            return 0
+        candidates = []
+        for path in self.failures_dir.glob("*.bundle.json"):
+            try:
+                data = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue  # torn or foreign file: not ours to prune
+            bundle_cls = data.get("scenario_class")
+            if bundle_cls is None and isinstance(data.get("scenario"), dict):
+                # Pre-claim-era bundle: derive the class from the scenario.
+                scen = data["scenario"]
+                bundle_cls = f"{scen.get('name')}:{scen.get('scheme')}"
+            if bundle_cls != cls:
+                continue
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue
+            candidates.append((mtime, path))
+        candidates.sort(key=lambda item: item[0], reverse=True)
+        pruned = 0
+        for _, path in candidates[self.max_bundles_per_class:]:
+            if keep is not None and path == keep:
+                continue
+            try:
+                path.unlink()
+                pruned += 1
+            except OSError:  # pragma: no cover - best effort
+                pass
+        return pruned
+
+    # ------------------------------------------------------------------
+    # inspection (``repro jobs``, ``/readyz``)
+    # ------------------------------------------------------------------
+    def iter_entries(self) -> Iterator[dict]:
+        """Yield every journaled success entry (schema-checked, torn-safe)."""
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                entry = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if not isinstance(entry, dict) or entry.get("schema") != SCHEMA_VERSION:
+                continue
+            if entry.get("kind") != "result":
+                continue
+            entry["_path"] = str(path)
+            try:
+                entry["_mtime"] = path.stat().st_mtime
+            except OSError:
+                entry["_mtime"] = 0.0
+            yield entry
+
+    def iter_bundles(self) -> Iterator[dict]:
+        """Yield every failure replay bundle (schema-checked, torn-safe)."""
+        if not self.failures_dir.is_dir():
+            return
+        for path in sorted(self.failures_dir.glob("*.bundle.json")):
+            try:
+                bundle = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            if not isinstance(bundle, dict) or bundle.get("kind") != "replay-bundle":
+                continue
+            bundle["_path"] = str(path)
+            try:
+                bundle["_mtime"] = path.stat().st_mtime
+            except OSError:
+                bundle["_mtime"] = 0.0
+            yield bundle
+
+    def stats(self) -> dict:
+        """Size counters for health endpoints and operator tooling."""
+        return {
+            "entries": self.completed_count(),
+            "failure_bundles": (
+                sum(1 for _ in self.failures_dir.glob("*.bundle.json"))
+                if self.failures_dir.is_dir() else 0
+            ),
+            "claims": self.claim_count(),
+        }
 
 
 def load_replay_bundle(path: PathLike) -> dict:

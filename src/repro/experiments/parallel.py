@@ -25,6 +25,12 @@ semantics of the serial path:
 * **Degradation** — ``workers=1``, or a platform where multiprocessing
   offers neither ``fork`` nor ``spawn``, runs everything serially
   in-process with identical results and the same telemetry shape.
+* **Persistence** — the process-management mechanics live in
+  :class:`WorkerPool`, a long-lived pool that launches one process per
+  run and reports settlements (ok / error / timeout / crash) from
+  :meth:`WorkerPool.poll`.  The one-shot batch loop here drives it to
+  exhaustion; ``repro serve`` (:mod:`repro.server.scheduler`) drives the
+  same pool indefinitely as a job server.
 
 Scenarios cross the process boundary as plain dicts (``dataclasses.asdict``
 of the frozen :class:`~repro.experiments.scenarios.Scenario` built via
@@ -66,10 +72,14 @@ __all__ = [
     "RunFailure",
     "RunProgress",
     "RunTelemetry",
+    "Settlement",
+    "WorkerPool",
     "execute_runs",
     "run_grid",
     "pooled_parallel",
     "default_workers",
+    "backoff_delay",
+    "is_retryable",
 ]
 
 ProgressHook = Callable[["RunProgress"], None]
@@ -107,6 +117,16 @@ def _backoff_delay(key: Hashable, attempt: int,
     rng = random.Random(stable_hash(str(key), "retry-backoff", attempt))
     delay = min(cap_s, base_s * (2 ** (attempt - 1)))
     return delay * (0.5 + rng.random())
+
+
+# Public aliases for other executors (repro.server) that reuse the same
+# retry policy.
+is_retryable = _retryable
+backoff_delay = _backoff_delay
+
+# How often a request parked behind another process's journal claim
+# re-checks for the entry (or for the claim going stale).
+_CLAIM_RECHECK_S = 0.1
 
 
 def default_workers() -> int:
@@ -322,6 +342,224 @@ def _mp_context():
 
 
 # ----------------------------------------------------------------------
+# persistent worker pool
+# ----------------------------------------------------------------------
+@dataclass
+class Settlement:
+    """One launch reaching a terminal state, as reported by ``WorkerPool.poll``.
+
+    ``status`` is one of:
+
+    * ``"ok"``      — ``payload`` is the worker's ``result_to_dict`` output
+      (rehydrate with the request's scenario);
+    * ``"error"``   — the worker raised; ``payload`` carries ``reason`` and
+      ``traceback``;
+    * ``"timeout"`` — the launch exceeded its ``timeout_s`` and was killed;
+    * ``"crash"``   — the process died without reporting (``exitcode`` set).
+    """
+
+    launch_id: int
+    request: RunRequest
+    attempt: int
+    status: str
+    payload: Optional[dict]
+    wall: float
+    timeout_s: Optional[float]
+    exitcode: Optional[int] = None
+
+    @property
+    def reason(self) -> str:
+        """Canonical failure-reason string (matches the historical executor)."""
+        if self.status == "ok":
+            return ""
+        if self.status == "timeout":
+            return f"timeout after {self.timeout_s:g}s"
+        if self.status == "crash":
+            return f"worker crashed (exit code {self.exitcode})"
+        if isinstance(self.payload, dict):
+            return str(self.payload.get("reason", "unknown error"))
+        return str(self.payload)
+
+    @property
+    def traceback(self) -> Optional[str]:
+        if isinstance(self.payload, dict):
+            return self.payload.get("traceback")
+        return None
+
+
+class WorkerPool:
+    """A persistent pool of one-process-per-run simulation workers.
+
+    The pool owns the multiprocessing context, the result queue, and the
+    table of in-flight launches.  Callers :meth:`launch` requests while
+    :attr:`has_slot` and harvest :class:`Settlement` records from
+    :meth:`poll`; retry policy, journaling, and fairness all live in the
+    caller (the batch executor below, or the ``repro serve`` scheduler).
+
+    Crash detection and per-launch timeouts are handled inside ``poll``:
+    a launch past its deadline is terminated and settles as ``timeout``; a
+    process that exits without reporting settles as ``crash`` after a
+    short drain window for its possibly-buffered message.
+    """
+
+    def __init__(self, workers: int, ctx=None) -> None:
+        self.workers = max(1, int(workers))
+        self.ctx = ctx if ctx is not None else _mp_context()
+        if self.ctx is None:  # pragma: no cover - platform dependent
+            raise RuntimeError("multiprocessing is unavailable on this platform")
+        self._out_queue = self.ctx.Queue()
+        self._running: Dict[int, _Launch] = {}
+        self._next_launch_id = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> int:
+        return len(self._running)
+
+    @property
+    def has_slot(self) -> bool:
+        return len(self._running) < self.workers
+
+    def running_info(self) -> List[dict]:
+        """Status rows for heartbeats / ``/readyz``: key, attempt, wall, pid."""
+        now = time.perf_counter()
+        return [
+            {
+                "launch_id": launch_id,
+                "key": str(entry.request.key),
+                "attempt": entry.attempt,
+                "wall_s": round(now - entry.started, 2),
+                "pid": entry.proc.pid,
+            }
+            for launch_id, entry in self._running.items()
+        ]
+
+    def pids(self) -> List[int]:
+        return [entry.proc.pid for entry in self._running.values()]
+
+    def pid_of(self, launch_id: int) -> Optional[int]:
+        entry = self._running.get(launch_id)
+        return entry.proc.pid if entry is not None else None
+
+    # ------------------------------------------------------------------
+    def launch(self, request: RunRequest, attempt: int = 1,
+               timeout_s: Optional[float] = None) -> int:
+        """Start one worker process for ``request``; returns the launch id."""
+        if self._closed:
+            raise RuntimeError("pool is shut down")
+        launch_id = self._next_launch_id
+        self._next_launch_id += 1
+        proc = self.ctx.Process(
+            target=_worker_entry,
+            args=(self._out_queue, launch_id, asdict(request.scenario), request.trace_paths),
+            daemon=True,
+        )
+        proc.start()
+        self._running[launch_id] = _Launch(proc, request, attempt,
+                                           time.perf_counter(), timeout_s)
+        return launch_id
+
+    def kill(self, launch_id: int) -> bool:
+        """Forcibly terminate a running launch (it settles as a crash)."""
+        entry = self._running.get(launch_id)
+        if entry is None or not entry.proc.is_alive():
+            return False
+        entry.proc.terminate()
+        return True
+
+    # ------------------------------------------------------------------
+    def _settle_message(self, message, settled: List[Settlement]) -> None:
+        launch_id, status, payload = message
+        entry = self._running.pop(launch_id, None)
+        if entry is None:
+            return  # stale message from a launch already settled (e.g. timed out)
+        entry.proc.join()
+        wall = time.perf_counter() - entry.started
+        settled.append(Settlement(launch_id, entry.request, entry.attempt,
+                                  "ok" if status == "ok" else "error",
+                                  payload, wall, entry.timeout_s))
+
+    def _drain_window(self, block_s: float, settled: List[Settlement]) -> None:
+        """Keep draining messages until ``block_s`` elapses (not just until
+        the queue is momentarily empty): a just-killed worker's message may
+        still be in the feeder pipe."""
+        deadline = time.perf_counter() + block_s
+        while True:
+            try:
+                self._settle_message(self._out_queue.get_nowait(), settled)
+            except queue_mod.Empty:
+                if time.perf_counter() >= deadline:
+                    return
+                time.sleep(0.01)
+
+    def poll(self, block_s: float = 0.0, window: bool = False) -> List[Settlement]:
+        """Harvest settlements: completions, timeouts, and crashes.
+
+        Blocks up to ``block_s`` for the first message (``window=True``
+        instead keeps draining for the whole interval — used while
+        shutting down, when completeness beats latency), then sweeps the
+        in-flight table for expired timeouts and silent deaths.
+        """
+        settled: List[Settlement] = []
+        if window and block_s > 0:
+            self._drain_window(block_s, settled)
+        else:
+            try:
+                if block_s > 0:
+                    self._settle_message(self._out_queue.get(timeout=block_s), settled)
+                else:
+                    self._settle_message(self._out_queue.get_nowait(), settled)
+            except queue_mod.Empty:
+                pass
+        # Nothing else buffered right now?  Sweep for stragglers.
+        while True:
+            try:
+                self._settle_message(self._out_queue.get_nowait(), settled)
+            except queue_mod.Empty:
+                break
+        now = time.perf_counter()
+        for launch_id in list(self._running):
+            entry = self._running.get(launch_id)
+            if entry is None:
+                continue
+            if entry.timeout_s is not None and now - entry.started > entry.timeout_s:
+                entry.proc.terminate()
+                entry.proc.join()
+                self._running.pop(launch_id, None)
+                settled.append(Settlement(launch_id, entry.request, entry.attempt,
+                                          "timeout", None, now - entry.started,
+                                          entry.timeout_s))
+            elif not entry.proc.is_alive():
+                # The worker exited; its message may still be buffered in the
+                # queue's feeder pipe, so give it a moment to surface before
+                # declaring an unreported death (i.e. a crash).
+                self._drain_window(_CRASH_DRAIN_S, settled)
+                if launch_id in self._running:
+                    entry.proc.join()
+                    self._running.pop(launch_id, None)
+                    settled.append(Settlement(launch_id, entry.request, entry.attempt,
+                                              "crash", None,
+                                              time.perf_counter() - entry.started,
+                                              entry.timeout_s, entry.proc.exitcode))
+        return settled
+
+    # ------------------------------------------------------------------
+    def shutdown(self, join_timeout_s: float = 5.0) -> None:
+        """Terminate and join every in-flight worker; close the queue."""
+        if self._closed:
+            return
+        for entry in list(self._running.values()):
+            if entry.proc.is_alive():
+                entry.proc.terminate()
+        for entry in list(self._running.values()):
+            entry.proc.join(timeout=join_timeout_s)
+        self._running.clear()
+        self._out_queue.close()
+        self._closed = True
+
+
+# ----------------------------------------------------------------------
 # executor
 # ----------------------------------------------------------------------
 def execute_runs(
@@ -389,12 +627,13 @@ def execute_runs(
             telemetry.workers = 1
             _execute_serial(remaining, max_retries, progress, telemetry,
                             results, total, journal, backoff_base_s, backoff_cap_s,
-                            heartbeat)
+                            heartbeat, resume=resume)
         else:
             telemetry.mode = "parallel"
             _execute_parallel(remaining, workers, timeout_s, max_retries, progress,
                               telemetry, ctx, results, total, journal,
-                              backoff_base_s, backoff_cap_s, heartbeat)
+                              backoff_base_s, backoff_cap_s, heartbeat,
+                              resume=resume)
     telemetry.wall_seconds = time.perf_counter() - started
     return results
 
@@ -443,15 +682,52 @@ def _journal_failure(journal, request, reason, attempts, traceback_text) -> Opti
     return str(journal.record_failure(request, reason, attempts, traceback_text))
 
 
+def _acquire_or_wait(journal, request) -> str:
+    """Claim the right to execute ``request``, or wait out a peer's claim.
+
+    Returns ``"claimed"`` (we own execution), ``"resumed"`` (the journal
+    entry appeared while waiting), or ``"interrupted"``.
+    """
+    while True:
+        if journal.lookup(request) is not None:
+            return "resumed"
+        if journal.try_claim(request):
+            return "claimed"
+        try:
+            time.sleep(_CLAIM_RECHECK_S)
+        except KeyboardInterrupt:
+            return "interrupted"
+
+
 def _execute_serial(requests, max_retries, progress, telemetry, results, total,
                     journal, backoff_base_s, backoff_cap_s,
-                    heartbeat=None) -> Dict[Hashable, ExperimentResult]:
+                    heartbeat=None, resume=False) -> Dict[Hashable, ExperimentResult]:
+    use_claims = journal is not None and resume
     for request in requests:
         if heartbeat is not None:
             heartbeat.maybe_emit(
                 completed=len(results), total=total,
                 running=[{"key": str(request.key), "attempt": 1, "wall_s": 0.0}],
             )
+        if use_claims:
+            # Cross-process dedupe: wait behind a peer's claim (the entry
+            # will appear, or the claim will go stale and we take over).
+            outcome = _acquire_or_wait(journal, request)
+            if outcome == "interrupted":
+                telemetry.interrupted = True
+                break
+            if outcome == "resumed":
+                cached = journal.lookup(request)
+                if cached is not None:
+                    results[request.key] = cached
+                    telemetry.record_resumed(request.key)
+                    _notify(progress, RunProgress(request.key, "resumed", 0,
+                                                  len(results), total, 0.0,
+                                                  cached.events))
+                    continue
+                # The entry vanished between checks; fall through and run.
+                if not journal.try_claim(request):
+                    pass  # peer re-claimed: run anyway, writes are atomic
         attempt = 0
         attempts_log: List[dict] = []
         interrupted = False
@@ -495,6 +771,8 @@ def _execute_serial(requests, max_retries, progress, telemetry, results, total,
                                           len(results), total, wall, result.events))
             break
         if interrupted:
+            if use_claims:
+                journal.release_claim(request)
             telemetry.interrupted = True
             break
     return results
@@ -510,25 +788,15 @@ class _Pending:
 
 def _execute_parallel(requests, workers, timeout_s, max_retries, progress, telemetry,
                       ctx, results, total, journal, backoff_base_s, backoff_cap_s,
-                      heartbeat=None):
-    out_queue = ctx.Queue()
+                      heartbeat=None, resume=False):
+    pool = WorkerPool(workers, ctx=ctx)
     pending: deque = deque(_Pending(request, 1, 0.0, timeout_s) for request in requests)
-    running: Dict[int, _Launch] = {}
+    # Requests parked behind another process's journal claim, as
+    # (next_recheck_time, _Pending) pairs.
+    claim_waits: List[tuple] = []
+    owned_claims: Dict[Hashable, RunRequest] = {}
     attempts_log: Dict[Hashable, List[dict]] = {}
-    next_launch_id = 0
-
-    def launch(item: _Pending) -> None:
-        nonlocal next_launch_id
-        launch_id = next_launch_id
-        next_launch_id += 1
-        proc = ctx.Process(
-            target=_worker_entry,
-            args=(out_queue, launch_id, asdict(item.request.scenario), item.request.trace_paths),
-            daemon=True,
-        )
-        proc.start()
-        running[launch_id] = _Launch(proc, item.request, item.attempt,
-                                     time.perf_counter(), item.timeout_s)
+    use_claims = journal is not None and resume
 
     def pop_ready(now: float) -> Optional[_Pending]:
         """First pending item whose backoff has expired (stable order)."""
@@ -538,122 +806,132 @@ def _execute_parallel(requests, workers, timeout_s, max_retries, progress, telem
                 return item
         return None
 
-    def settle_failure(entry: _Launch, reason: str, wall: float,
-                       traceback_text: Optional[str] = None) -> None:
-        log = attempts_log.setdefault(entry.request.key, [])
-        record = {"attempt": entry.attempt, "reason": reason, "wall_s": wall,
-                  "timeout_s": entry.timeout_s}
+    def settle_resumed(request: RunRequest, cached) -> None:
+        results[request.key] = cached
+        telemetry.record_resumed(request.key)
+        _notify(progress, RunProgress(request.key, "resumed", 0,
+                                      len(results), total, 0.0, cached.events))
+
+    def try_launch(item: _Pending) -> None:
+        """Launch, unless the journal already has (or another process owns)
+        this cell — the cross-process dedupe the claim file provides."""
+        if use_claims and item.request.key not in owned_claims:
+            cached = journal.lookup(item.request)
+            if cached is not None:
+                settle_resumed(item.request, cached)
+                return
+            if not journal.try_claim(item.request):
+                claim_waits.append((time.perf_counter() + _CLAIM_RECHECK_S, item))
+                return
+            owned_claims[item.request.key] = item.request
+        pool.launch(item.request, item.attempt, item.timeout_s)
+
+    def recheck_claims(now: float) -> None:
+        if not claim_waits:
+            return
+        still_waiting = []
+        for ready_at, item in claim_waits:
+            if ready_at > now:
+                still_waiting.append((ready_at, item))
+                continue
+            cached = journal.lookup(item.request)
+            if cached is not None:
+                settle_resumed(item.request, cached)
+            elif journal.try_claim(item.request):
+                owned_claims[item.request.key] = item.request
+                pending.appendleft(_Pending(item.request, item.attempt, 0.0,
+                                            item.timeout_s))
+            else:
+                still_waiting.append((now + _CLAIM_RECHECK_S, item))
+        claim_waits[:] = still_waiting
+
+    def release_claim(request: RunRequest) -> None:
+        if owned_claims.pop(request.key, None) is not None:
+            journal.release_claim(request)
+
+    def settle_failure(settlement: Settlement) -> None:
+        reason = settlement.reason
+        wall = settlement.wall
+        request = settlement.request
+        log = attempts_log.setdefault(request.key, [])
+        record = {"attempt": settlement.attempt, "reason": reason, "wall_s": wall,
+                  "timeout_s": settlement.timeout_s}
         log.append(record)
-        if entry.attempt <= max_retries and _retryable(reason):
-            backoff = _backoff_delay(entry.request.key, entry.attempt,
+        if settlement.attempt <= max_retries and _retryable(reason):
+            backoff = _backoff_delay(request.key, settlement.attempt,
                                      backoff_base_s, backoff_cap_s)
             record["backoff_s"] = backoff
-            next_timeout = entry.timeout_s
+            next_timeout = settlement.timeout_s
             if next_timeout is not None:
                 next_timeout *= _TIMEOUT_ESCALATION
                 telemetry.timeout_escalations += 1
             telemetry.record_retry(reason, wall, backoff)
-            _notify(progress, RunProgress(entry.request.key, "retry", entry.attempt,
+            _notify(progress, RunProgress(request.key, "retry", settlement.attempt,
                                           len(results), total, wall, 0))
-            pending.append(_Pending(entry.request, entry.attempt + 1,
+            # The claim (if any) stays ours across retries: we still own
+            # the right to execute this cell.
+            pending.append(_Pending(request, settlement.attempt + 1,
                                     time.perf_counter() + backoff, next_timeout))
         else:
-            bundle = _journal_failure(journal, entry.request, reason, log, traceback_text)
-            telemetry.record_failure(entry.request.key, entry.attempt, reason, wall, bundle)
-            _notify(progress, RunProgress(entry.request.key, "failed", entry.attempt,
+            bundle = _journal_failure(journal, request, reason, log,
+                                      settlement.traceback)
+            owned_claims.pop(request.key, None)  # record_failure released it
+            telemetry.record_failure(request.key, settlement.attempt, reason, wall, bundle)
+            _notify(progress, RunProgress(request.key, "failed", settlement.attempt,
                                           len(results), total, wall, 0))
 
-    def handle_message(message) -> None:
-        launch_id, status, payload = message
-        entry = running.pop(launch_id, None)
-        if entry is None:
-            return  # stale message from a launch already settled (e.g. timed out)
-        entry.proc.join()
-        wall = time.perf_counter() - entry.started
-        if status == "ok":
-            result = result_from_dict(payload, scenario=entry.request.scenario)
-            results[entry.request.key] = result
-            telemetry.record_success(entry.request.key, wall, result.events)
-            _journal_success(journal, entry.request, result,
-                             attempts_log.get(entry.request.key, []), telemetry)
-            _notify(progress, RunProgress(entry.request.key, "ok", entry.attempt,
-                                          len(results), total, wall, result.events))
+    def handle(settlement: Settlement) -> None:
+        request = settlement.request
+        if settlement.status == "ok":
+            result = result_from_dict(settlement.payload, scenario=request.scenario)
+            results[request.key] = result
+            telemetry.record_success(request.key, settlement.wall, result.events)
+            _journal_success(journal, request, result,
+                             attempts_log.get(request.key, []), telemetry)
+            owned_claims.pop(request.key, None)  # record_success released it
+            _notify(progress, RunProgress(request.key, "ok", settlement.attempt,
+                                          len(results), total, settlement.wall,
+                                          result.events))
         else:
-            reason = payload["reason"] if isinstance(payload, dict) else str(payload)
-            tb = payload.get("traceback") if isinstance(payload, dict) else None
-            settle_failure(entry, reason, wall, tb)
-
-    def drain(block_s: float = 0.0) -> None:
-        deadline = time.perf_counter() + block_s
-        while True:
-            try:
-                handle_message(out_queue.get_nowait())
-            except queue_mod.Empty:
-                if time.perf_counter() >= deadline:
-                    return
-                time.sleep(0.01)
+            settle_failure(settlement)
 
     try:
-        while pending or running:
+        while pending or claim_waits or pool.active:
             now = time.perf_counter()
-            while len(running) < workers:
+            while pool.has_slot:
                 item = pop_ready(now)
                 if item is None:
                     break
-                launch(item)
-            try:
-                handle_message(out_queue.get(timeout=_POLL_S))
-            except queue_mod.Empty:
-                pass
-            drain()
-            now = time.perf_counter()
+                try_launch(item)
+            recheck_claims(time.perf_counter())
+            for settlement in pool.poll(block_s=_POLL_S):
+                handle(settlement)
             if heartbeat is not None:
                 heartbeat.maybe_emit(
                     completed=len(results), total=total,
                     running=[
-                        {"key": str(entry.request.key), "attempt": entry.attempt,
-                         "wall_s": round(now - entry.started, 2)}
-                        for entry in running.values()
+                        {"key": row["key"], "attempt": row["attempt"],
+                         "wall_s": row["wall_s"]}
+                        for row in pool.running_info()
                     ],
-                    pending=len(pending),
+                    pending=len(pending) + len(claim_waits),
                 )
-            for launch_id in list(running):
-                entry = running.get(launch_id)
-                if entry is None:
-                    continue
-                if entry.timeout_s is not None and now - entry.started > entry.timeout_s:
-                    entry.proc.terminate()
-                    entry.proc.join()
-                    running.pop(launch_id, None)
-                    settle_failure(entry, f"timeout after {entry.timeout_s:g}s",
-                                   now - entry.started)
-                elif not entry.proc.is_alive():
-                    # The worker exited; its message may still be buffered in the
-                    # queue's feeder pipe, so give it a moment to surface before
-                    # declaring an unreported death (i.e. a crash).
-                    drain(block_s=_CRASH_DRAIN_S)
-                    if launch_id in running:
-                        entry.proc.join()
-                        running.pop(launch_id, None)
-                        settle_failure(entry, f"worker crashed (exit code {entry.proc.exitcode})",
-                                       time.perf_counter() - entry.started)
     except KeyboardInterrupt:
         # Graceful shutdown: collect whatever already finished (journaling
         # it as usual), then terminate the stragglers below.  The partial
         # results are returned to the caller; exit-code policy is theirs.
         telemetry.interrupted = True
         try:
-            drain(block_s=_CRASH_DRAIN_S)
+            for settlement in pool.poll(block_s=_CRASH_DRAIN_S, window=True):
+                handle(settlement)
         except (KeyboardInterrupt, Exception):  # noqa: BLE001 - already shutting down
             pass
     finally:
-        for entry in list(running.values()):
-            if entry.proc.is_alive():
-                entry.proc.terminate()
-        for entry in list(running.values()):
-            entry.proc.join(timeout=5)
-        running.clear()
-        out_queue.close()
+        pool.shutdown()
+        # Release claims for cells we never finished so a restart (ours or
+        # a peer's) is not blocked until the claim goes stale.
+        for request in list(owned_claims.values()):
+            release_claim(request)
     return results
 
 

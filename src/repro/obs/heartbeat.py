@@ -169,16 +169,17 @@ class ExecutorHeartbeat:
         self.beats = 0
 
     def maybe_emit(self, completed: int, total: int, running: list[dict],
-                   pending: int = 0) -> None:
+                   pending: int = 0, extra: Optional[dict] = None) -> None:
         now = time.perf_counter()
         if now - self._last < self.interval_s:
             return
-        self.emit(completed, total, running, pending, now)
+        self.emit(completed, total, running, pending, now, extra=extra)
 
     def emit(self, completed: int, total: int, running: list[dict],
-             pending: int = 0, now: Optional[float] = None) -> None:
+             pending: int = 0, now: Optional[float] = None,
+             extra: Optional[dict] = None) -> None:
         now = time.perf_counter() if now is None else now
-        self.writer.emit({
+        record = {
             "type": "executor",
             "pid": os.getpid(),
             "t_wall_s": round(now - self._started, 6),
@@ -187,6 +188,11 @@ class ExecutorHeartbeat:
             "in_flight": len(running),
             "queued": pending,
             "workers": running,
-        })
+        }
+        if extra:
+            # Caller-supplied context (e.g. ``repro serve`` pool saturation
+            # and breaker states); reserved keys above win on collision.
+            record.update({k: v for k, v in extra.items() if k not in record})
+        self.writer.emit(record)
         self.beats += 1
         self._last = now

@@ -1,0 +1,35 @@
+"""``repro serve``: a crash-tolerant async job server over the sweep executor.
+
+The batch executor (:mod:`repro.experiments.parallel`) answers "run this
+grid to completion"; this package answers "keep accepting scenario runs
+from concurrent tenants and never fall over":
+
+* :mod:`repro.server.jobs` — job records, the thread-safe store, the
+  shutdown spool;
+* :mod:`repro.server.admission` — token-bucket + queue-depth admission,
+  per-scenario-class circuit breaker;
+* :mod:`repro.server.scheduler` — DRR tenant fairness, retries/backoff,
+  journal claims, graceful drain over the shared :class:`WorkerPool`;
+* :mod:`repro.server.app` — the stdlib asyncio HTTP front end.
+"""
+
+from repro.server.admission import AdmissionGate, ClassBreaker, retry_after_header
+from repro.server.app import ReproServer, build_server, scenario_from_submission, serve_main
+from repro.server.jobs import Job, JobStore, read_spool, write_spool
+from repro.server.scheduler import JobScheduler, SubmitOutcome
+
+__all__ = [
+    "AdmissionGate",
+    "ClassBreaker",
+    "Job",
+    "JobScheduler",
+    "JobStore",
+    "ReproServer",
+    "SubmitOutcome",
+    "build_server",
+    "read_spool",
+    "retry_after_header",
+    "scenario_from_submission",
+    "serve_main",
+    "write_spool",
+]

@@ -1,0 +1,224 @@
+"""Admission control and per-scenario-class circuit breaking for the server.
+
+The paper's §7 point — "congestion mitigation is always coupled with
+network admission control" — applied to the platform itself: the job
+server never grows an unbounded queue.  Arrivals beyond a token bucket's
+sustained rate, or beyond a hard queue-depth bound, are *shed
+deterministically* with HTTP 503 and a computed ``Retry-After``, exactly
+the reject-fast discipline :class:`repro.workload.admission.
+AdmissionController` models in-sim (here on the wall clock instead of the
+simulated one).
+
+:class:`ClassBreaker` is the job-level cousin of the detour-storm breaker
+in :mod:`repro.control`: the same trip → fallback → cooldown → re-arm
+state machine, keyed by scenario class (``<name>:<scheme>``).  A class
+whose submissions keep failing permanently trips open — further
+submissions are rejected fast with a pointer at the latest replay bundle
+instead of burning workers — and after ``cooldown_s`` the breaker
+half-opens to let a probe through: success re-arms (closed), failure
+re-opens.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+__all__ = ["AdmissionGate", "ClassBreaker"]
+
+
+class AdmissionGate:
+    """Token-bucket arrival limiting plus a bounded queue depth.
+
+    ``admit(queued_now)`` is called under the server lock with the current
+    scheduler backlog; it returns ``(ok, retry_after_s, reason)``.  Shed
+    decisions are deterministic functions of the bucket state and the
+    backlog — no randomness, no unbounded growth.
+    """
+
+    def __init__(self, rate_per_s: float, burst: int, max_queued: int,
+                 clock=time.monotonic) -> None:
+        if rate_per_s <= 0:
+            raise ValueError("admission rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be at least one token")
+        if max_queued < 1:
+            raise ValueError("queue bound must be at least one")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = int(burst)
+        self.max_queued = int(max_queued)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last_refill = clock()
+        self._lock = threading.Lock()
+        self.admitted = 0
+        self.shed_rate = 0
+        self.shed_depth = 0
+
+    # Same whole-token float tolerance as the in-sim controller.
+    _EPSILON = 1e-9
+
+    def _refill(self, now: float) -> None:
+        self._tokens = min(float(self.burst),
+                           self._tokens + (now - self._last_refill) * self.rate_per_s)
+        self._last_refill = now
+
+    def _retry_after(self) -> float:
+        """Seconds until the bucket next holds a whole token (>= 0)."""
+        deficit = max(0.0, 1.0 - self._tokens)
+        return deficit / self.rate_per_s
+
+    def admit(self, queued_now: int) -> Tuple[bool, float, str]:
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            if queued_now >= self.max_queued:
+                self.shed_depth += 1
+                # The backlog itself must drain; quote at least a token
+                # interval so clients back off instead of tight-looping.
+                return False, max(1.0 / self.rate_per_s, self._retry_after()), "queue-full"
+            if self._tokens < 1.0 - self._EPSILON:
+                self.shed_rate += 1
+                return False, self._retry_after(), "rate-limited"
+            self._tokens -= 1.0
+            self.admitted += 1
+            return True, 0.0, "admitted"
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "rate_per_s": self.rate_per_s,
+                "burst": self.burst,
+                "max_queued": self.max_queued,
+                "tokens": round(self._tokens, 3),
+                "admitted": self.admitted,
+                "shed_rate": self.shed_rate,
+                "shed_depth": self.shed_depth,
+            }
+
+
+def retry_after_header(retry_after_s: float) -> str:
+    """HTTP ``Retry-After`` wants integral seconds; always quote >= 1."""
+    return str(max(1, int(math.ceil(retry_after_s))))
+
+
+class _BreakerState:
+    __slots__ = ("state", "consecutive_failures", "opened_at", "last_bundle",
+                 "last_reason", "trips", "rearms")
+
+    def __init__(self) -> None:
+        self.state = "closed"  # closed | open | half-open
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+        self.last_bundle: Optional[str] = None
+        self.last_reason: Optional[str] = None
+        self.trips = 0
+        self.rearms = 0
+
+
+class ClassBreaker:
+    """Per-scenario-class circuit breaker over permanent job failures.
+
+    * **closed** — submissions flow; ``fail_threshold`` *consecutive*
+      permanent failures trip the class open.
+    * **open** — submissions are rejected fast; the rejection carries the
+      class's latest replay-bundle path so the operator can debug without
+      re-running.  After ``cooldown_s`` the next check half-opens.
+    * **half-open** — submissions are admitted as probes: the first
+      success closes (re-arms) the breaker, the first failure re-opens it
+      for another cooldown.
+    """
+
+    def __init__(self, fail_threshold: int = 3, cooldown_s: float = 30.0,
+                 clock=time.monotonic) -> None:
+        if fail_threshold < 1:
+            raise ValueError("failure threshold must be at least one")
+        if cooldown_s <= 0:
+            raise ValueError("cooldown must be positive")
+        self.fail_threshold = int(fail_threshold)
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._classes: Dict[str, _BreakerState] = {}
+
+    def _state(self, cls: str) -> _BreakerState:
+        state = self._classes.get(cls)
+        if state is None:
+            state = self._classes[cls] = _BreakerState()
+        return state
+
+    # ------------------------------------------------------------------
+    def check(self, cls: str) -> Tuple[bool, dict]:
+        """May a submission of this class proceed right now?
+
+        Returns ``(allowed, info)``; ``info`` carries breaker state,
+        remaining cooldown, and the last replay bundle for rejections.
+        """
+        with self._lock:
+            state = self._state(cls)
+            now = self._clock()
+            if state.state == "open":
+                remaining = state.opened_at + self.cooldown_s - now
+                if remaining <= 0:
+                    state.state = "half-open"
+                    state.rearms += 1
+                else:
+                    return False, {
+                        "scenario_class": cls,
+                        "breaker": "open",
+                        "retry_after_s": remaining,
+                        "bundle": state.last_bundle,
+                        "reason": state.last_reason,
+                    }
+            return True, {"scenario_class": cls, "breaker": state.state}
+
+    def record_success(self, cls: str) -> None:
+        with self._lock:
+            state = self._state(cls)
+            state.consecutive_failures = 0
+            state.state = "closed"
+
+    def record_failure(self, cls: str, reason: str,
+                       bundle: Optional[str] = None) -> bool:
+        """Account one permanent failure; returns True when this trips."""
+        with self._lock:
+            state = self._state(cls)
+            state.consecutive_failures += 1
+            state.last_reason = reason
+            if bundle is not None:
+                state.last_bundle = bundle
+            tripping = (
+                state.state == "half-open"
+                or (state.state == "closed"
+                    and state.consecutive_failures >= self.fail_threshold)
+            )
+            if tripping:
+                state.state = "open"
+                state.opened_at = self._clock()
+                state.trips += 1
+            return tripping
+
+    # ------------------------------------------------------------------
+    def states(self) -> dict:
+        with self._lock:
+            now = self._clock()
+            out = {}
+            for cls, state in self._classes.items():
+                row = {
+                    "state": state.state,
+                    "consecutive_failures": state.consecutive_failures,
+                    "trips": state.trips,
+                    "rearms": state.rearms,
+                }
+                if state.state == "open":
+                    row["cooldown_remaining_s"] = round(
+                        max(0.0, state.opened_at + self.cooldown_s - now), 3)
+                    row["bundle"] = state.last_bundle
+                out[cls] = row
+            return out
+
+    def any_open(self) -> bool:
+        with self._lock:
+            return any(s.state == "open" for s in self._classes.values())

@@ -1,0 +1,367 @@
+"""The ``repro serve`` HTTP front end: asyncio, stdlib-only.
+
+A deliberately small HTTP/1.1 server (``asyncio.start_server`` plus a
+hand-rolled request parser — no external web framework, matching the
+repo's no-dependency rule) in front of :class:`~repro.server.scheduler.
+JobScheduler`.  The asyncio loop owns sockets and signals; the scheduler
+thread owns workers; they meet at ``scheduler.submit`` and the
+lock-guarded job store.
+
+Routes::
+
+    POST   /jobs            submit {"tenant", "priority", "base", "scenario"}
+    GET    /jobs            list jobs (?tenant=, ?state=)
+    GET    /jobs/<id>       one job (headline result numbers)
+    GET    /jobs/<id>/result  full result payload
+    DELETE /jobs/<id>       cancel a queued job
+    GET    /healthz         liveness (always 200 while the loop runs)
+    GET    /readyz          readiness + stats; 503 while draining
+
+Submission responses encode the admission outcome:
+
+* ``202 {"state": "queued"}`` — admitted and queued;
+* ``200 {"cached": true}``    — journal dedupe hit, no execution;
+* ``202 {"deduped_into": id}`` — same content key already in flight;
+* ``503`` + ``Retry-After``    — shed (queue full / rate limit / drain)
+  or the scenario class's circuit breaker is open (body says which, and
+  carries the latest replay-bundle path for broken classes).
+
+On SIGTERM/SIGINT the server stops accepting, lets in-flight runs finish
+and journal, spools still-queued jobs, joins every worker, and exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+from dataclasses import asdict
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.experiments.journal import RunJournal
+from repro.experiments.scenarios import PAPER_DEFAULTS, SCALED_DEFAULTS, Scenario
+from repro.obs.heartbeat import ExecutorHeartbeat, HeartbeatWriter
+from repro.server.admission import AdmissionGate, ClassBreaker, retry_after_header
+from repro.server.jobs import JobStore
+from repro.server.scheduler import JobScheduler
+
+__all__ = ["ReproServer", "build_server", "scenario_from_submission", "serve_main"]
+
+_MAX_BODY_BYTES = 1 << 20  # 1 MiB: scenarios are small; refuse anything bigger
+
+_BASES = {"scaled": SCALED_DEFAULTS, "paper": PAPER_DEFAULTS}
+
+
+def scenario_from_submission(payload: dict) -> Scenario:
+    """Build a validated Scenario from a submission body.
+
+    ``base`` picks the defaults ("scaled" unless said otherwise) and
+    ``scenario`` is a dict of field overrides.  Unknown fields and
+    invalid values raise ``ValueError`` (the HTTP layer answers 400).
+    """
+    base_name = payload.get("base", "scaled")
+    base = _BASES.get(base_name)
+    if base is None:
+        raise ValueError(f"unknown base {base_name!r}; known: {sorted(_BASES)}")
+    overrides = payload.get("scenario", {})
+    if not isinstance(overrides, dict):
+        raise ValueError("'scenario' must be an object of field overrides")
+    unknown = set(overrides) - set(asdict(base))
+    if unknown:
+        raise ValueError(f"unknown scenario fields: {sorted(unknown)}")
+    if overrides.get("faults") is not None:
+        overrides = dict(overrides)
+        overrides["faults"] = tuple(tuple(row) for row in overrides["faults"])
+    try:
+        scenario = base.with_overrides(**overrides)
+    except (TypeError, ValueError) as exc:
+        raise ValueError(str(exc)) from exc
+    scenario.validate()
+    return scenario
+
+
+class ReproServer:
+    """HTTP plumbing around one scheduler; see the module docstring."""
+
+    def __init__(self, scheduler: JobScheduler, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.bound_port: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # HTTP mechanics
+    # ------------------------------------------------------------------
+    async def _read_request(self, reader) -> Optional[Tuple[str, str, dict, bytes]]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError, ConnectionError):
+            return None
+        try:
+            lines = head.decode("latin-1").split("\r\n")
+            method, target, _version = lines[0].split(" ", 2)
+        except (ValueError, IndexError):
+            return None
+        headers = {}
+        for line in lines[1:]:
+            if ":" in line:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+        body = b""
+        length = headers.get("content-length")
+        if length is not None:
+            try:
+                n = int(length)
+            except ValueError:
+                return None
+            if n > _MAX_BODY_BYTES:
+                return (method, target, headers, b"\x00")  # sentinel: too large
+            try:
+                body = await reader.readexactly(n)
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return None
+        return method, target, headers, body
+
+    @staticmethod
+    def _response(status: int, payload: dict, extra_headers: Optional[dict] = None) -> bytes:
+        reasons = {200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+                   405: "Method Not Allowed", 409: "Conflict",
+                   413: "Payload Too Large", 503: "Service Unavailable"}
+        body = json.dumps(payload, indent=2, sort_keys=True, default=str).encode() + b"\n"
+        head = [f"HTTP/1.1 {status} {reasons.get(status, 'Status')}",
+                "Content-Type: application/json",
+                f"Content-Length: {len(body)}",
+                "Connection: close"]
+        for name, value in (extra_headers or {}).items():
+            head.append(f"{name}: {value}")
+        return ("\r\n".join(head) + "\r\n\r\n").encode() + body
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, target, _headers, body = request
+            if body == b"\x00":
+                writer.write(self._response(413, {"error": "body too large"}))
+            else:
+                writer.write(self._route(method, target, body))
+            await writer.drain()
+        except ConnectionError:  # pragma: no cover - client vanished
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover
+                pass
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _route(self, method: str, target: str, body: bytes) -> bytes:
+        path, _, query = target.partition("?")
+        params = {}
+        for pair in query.split("&"):
+            if "=" in pair:
+                name, _, value = pair.partition("=")
+                params[name] = value
+        if path == "/healthz":
+            return self._response(200, {"ok": True})
+        if path == "/readyz":
+            return self._readyz()
+        if path == "/jobs":
+            if method == "POST":
+                return self._submit(body)
+            if method == "GET":
+                return self._list_jobs(params)
+            return self._response(405, {"error": f"{method} not allowed on /jobs"})
+        if path.startswith("/jobs/"):
+            rest = path[len("/jobs/"):]
+            job_id, _, tail = rest.partition("/")
+            if method == "GET" and tail in ("", "result"):
+                return self._get_job(job_id, full=(tail == "result"))
+            if method == "DELETE" and not tail:
+                return self._cancel(job_id)
+            return self._response(405, {"error": f"{method} {path} not supported"})
+        return self._response(404, {"error": f"no route for {path}"})
+
+    def _submit(self, body: bytes) -> bytes:
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, ValueError):
+            return self._response(400, {"error": "body is not valid JSON"})
+        if not isinstance(payload, dict):
+            return self._response(400, {"error": "body must be a JSON object"})
+        try:
+            scenario = scenario_from_submission(payload)
+        except ValueError as exc:
+            return self._response(400, {"error": str(exc)})
+        tenant = str(payload.get("tenant", "default"))
+        try:
+            priority = int(payload.get("priority", 0))
+        except (TypeError, ValueError):
+            return self._response(400, {"error": "priority must be an integer"})
+        outcome = self.scheduler.submit(tenant, priority, scenario)
+        if outcome.status == "queued":
+            return self._response(202, {"job": outcome.job.view(), "state": "queued"})
+        if outcome.status == "cached":
+            return self._response(200, {"job": outcome.job.view(), "cached": True})
+        if outcome.status == "deduped":
+            return self._response(202, {"job": outcome.job.view(),
+                                        "deduped_into": outcome.job.id})
+        if outcome.status == "breaker-open":
+            return self._response(
+                503,
+                {"error": "circuit breaker open for scenario class",
+                 **outcome.info},
+                {"Retry-After": retry_after_header(outcome.retry_after_s)})
+        # shed (queue full, rate limited, or draining)
+        return self._response(
+            503,
+            {"error": "shed", **outcome.info},
+            {"Retry-After": retry_after_header(outcome.retry_after_s)})
+
+    def _list_jobs(self, params: dict) -> bytes:
+        jobs = self.scheduler.store.jobs(tenant=params.get("tenant"),
+                                         state=params.get("state"))
+        return self._response(200, {"jobs": [job.view() for job in jobs],
+                                    "counts": self.scheduler.store.counts()})
+
+    def _get_job(self, job_id: str, full: bool = False) -> bytes:
+        job = self.scheduler.store.get(job_id)
+        if job is None:
+            return self._response(404, {"error": f"no job {job_id!r}"})
+        return self._response(200, {"job": job.view(full_result=full)})
+
+    def _cancel(self, job_id: str) -> bytes:
+        ok, why = self.scheduler.cancel(job_id)
+        if ok:
+            job = self.scheduler.store.get(job_id)
+            return self._response(200, {"job": job.view() if job else None,
+                                        "cancelled": True})
+        if why == "not-found":
+            return self._response(404, {"error": f"no job {job_id!r}"})
+        return self._response(409, {"error": f"job is {why}; only queued jobs cancel"})
+
+    def _readyz(self) -> bytes:
+        stats = self.scheduler.stats()
+        if stats.get("draining"):
+            return self._response(503, {"ready": False, **stats},
+                                  {"Retry-After": "5"})
+        return self._response(200, {"ready": True, **stats})
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port)
+        sock = self._server.sockets[0]
+        self.bound_port = sock.getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+
+# ----------------------------------------------------------------------
+# assembly + entry point
+# ----------------------------------------------------------------------
+def build_server(
+    state_dir,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: int = 2,
+    max_retries: int = 2,
+    run_timeout_s: Optional[float] = None,
+    rate_per_s: float = 20.0,
+    burst: int = 20,
+    max_queued: int = 64,
+    breaker_threshold: int = 3,
+    breaker_cooldown_s: float = 30.0,
+    quantum: int = 1,
+    heartbeat_interval_s: float = 5.0,
+    drain_timeout_s: float = 60.0,
+    max_bundles_per_class: int = 16,
+) -> ReproServer:
+    """Wire journal + store + gates + scheduler + HTTP into one server.
+
+    ``state_dir`` holds everything durable: the run journal (entries,
+    claims, ``failures/``), ``spool.json``, and ``heartbeat.jsonl``.
+    """
+    state_dir = Path(state_dir)
+    journal = RunJournal(state_dir, max_bundles_per_class=max_bundles_per_class)
+    scheduler = JobScheduler(
+        store=JobStore(),
+        journal=journal,
+        workers=workers,
+        max_retries=max_retries,
+        run_timeout_s=run_timeout_s,
+        quantum=quantum,
+        admission=AdmissionGate(rate_per_s=rate_per_s, burst=burst,
+                                max_queued=max_queued),
+        breaker=ClassBreaker(fail_threshold=breaker_threshold,
+                             cooldown_s=breaker_cooldown_s),
+        heartbeat=ExecutorHeartbeat(
+            HeartbeatWriter(state_dir / "heartbeat.jsonl"),
+            interval_s=heartbeat_interval_s),
+        spool_path=state_dir / "spool.json",
+        drain_timeout_s=drain_timeout_s,
+    )
+    return ReproServer(scheduler, host=host, port=port)
+
+
+async def _serve(server: ReproServer, announce=print) -> int:
+    """Run until SIGTERM/SIGINT, then drain gracefully.  Returns exit code."""
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    installed = []
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+            installed.append(signum)
+        except (NotImplementedError, ValueError):  # pragma: no cover - platform
+            pass
+    server.scheduler.start()
+    await server.start()
+    announce(json.dumps({
+        "listening": {"host": server.host, "port": server.bound_port},
+        "state_dir": str(server.scheduler.journal.directory),
+        "workers": server.scheduler.workers,
+        "spool_replayed": server.scheduler.spool_replayed,
+    }, sort_keys=True), flush=True)
+    try:
+        await stop.wait()
+    finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
+        await server.stop()  # stop accepting before draining
+        summary = await loop.run_in_executor(None, server.scheduler.drain)
+        announce(json.dumps({"drained": summary}, sort_keys=True, default=str),
+                 flush=True)
+    return 0
+
+
+def serve_main(
+    state_dir,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    announce=None,
+    **build_kwargs,
+) -> int:
+    """Blocking entry point for ``repro serve`` (and the smoke harness)."""
+    server = build_server(state_dir, host=host, port=port, **build_kwargs)
+    if announce is None:
+        announce = lambda line, flush=True: print(line, file=sys.stdout, flush=flush)  # noqa: E731
+    try:
+        return asyncio.run(_serve(server, announce=announce))
+    except KeyboardInterrupt:  # pragma: no cover - signal handler races
+        server.scheduler.drain()
+        return 0

@@ -1,0 +1,575 @@
+"""The persistent job scheduler behind ``repro serve``.
+
+``experiments.parallel`` runs a batch to exhaustion; this module runs the
+same :class:`~repro.experiments.parallel.WorkerPool` *forever*, fed by
+concurrent tenants.  One scheduler thread owns every state transition:
+
+1. **Admission** happens on the HTTP thread (:meth:`JobScheduler.submit`):
+   circuit-breaker check, journal dedupe, active-key dedupe, then the
+   token-bucket/queue-depth gate.  Everything past that point is the
+   scheduler thread's.
+2. **Fairness** — queued jobs sit in per-tenant priority queues served by
+   deficit round robin: each sweep of the tenant ring grants ``quantum``
+   credits, a launch costs one, so concurrent tenants interleave
+   regardless of who submitted first, while a tenant alone gets the whole
+   pool.  Within a tenant, higher ``priority`` launches first.
+3. **Robustness** — worker crashes, raises, and timeouts are retried with
+   the executor's capped exponential backoff and ×1.5 timeout
+   escalation; permanent failures journal a replay bundle and feed the
+   per-scenario-class circuit breaker.  Journal claims serialize
+   execution across server replicas sharing a state directory.
+4. **Drain** — :meth:`drain` stops launches, lets in-flight jobs finish
+   and journal (bounded by ``drain_timeout_s``), spools everything still
+   queued to ``spool.json``, and joins every worker: zero orphans, and a
+   restart on the same state directory replays the spool.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.journal import RunJournal, scenario_class
+from repro.experiments.parallel import (
+    RunRequest,
+    Settlement,
+    WorkerPool,
+    backoff_delay,
+    is_retryable,
+)
+from repro.experiments.runner import result_from_dict, run_scenario, result_to_dict
+from repro.experiments.scenarios import Scenario
+from repro.server.admission import AdmissionGate, ClassBreaker
+from repro.server.jobs import Job, JobStore, read_spool, write_spool
+
+__all__ = ["JobScheduler", "SubmitOutcome"]
+
+_POLL_S = 0.05
+_CLAIM_RECHECK_S = 0.25
+_TIMEOUT_ESCALATION = 1.5
+
+
+class SubmitOutcome:
+    """What happened to a submission: maps 1:1 onto an HTTP response."""
+
+    __slots__ = ("status", "job", "retry_after_s", "info")
+
+    def __init__(self, status: str, job: Optional[Job] = None,
+                 retry_after_s: float = 0.0, info: Optional[dict] = None) -> None:
+        self.status = status  # queued | cached | deduped | shed | breaker-open
+        self.job = job
+        self.retry_after_s = retry_after_s
+        self.info = info or {}
+
+
+class JobScheduler:
+    """Admission-gated, tenant-fair, crash-tolerant job execution."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        journal: Optional[RunJournal] = None,
+        workers: int = 2,
+        max_retries: int = 2,
+        run_timeout_s: Optional[float] = None,
+        quantum: int = 1,
+        admission: Optional[AdmissionGate] = None,
+        breaker: Optional[ClassBreaker] = None,
+        heartbeat=None,
+        spool_path=None,
+        drain_timeout_s: float = 60.0,
+        poll_interval_s: float = _POLL_S,
+    ) -> None:
+        if quantum < 1:
+            raise ValueError("DRR quantum must be at least one")
+        self.store = store
+        self.journal = journal
+        self.workers = max(1, int(workers))
+        self.max_retries = max(0, int(max_retries))
+        self.run_timeout_s = run_timeout_s
+        self.quantum = int(quantum)
+        self.admission = admission
+        self.breaker = breaker
+        self.heartbeat = heartbeat
+        self.spool_path = spool_path
+        self.drain_timeout_s = drain_timeout_s
+        self.poll_interval_s = poll_interval_s
+
+        self._lock = threading.RLock()
+        self._tenant_queues: Dict[str, List[tuple]] = {}  # heap of (-prio, seq, id)
+        self._ring: List[str] = []
+        self._ring_index = 0
+        self._deficit: Dict[str, float] = {}
+        self._retry_heap: List[tuple] = []  # (ready_at, seq, job_id, timeout_s)
+        self._claim_waits: Dict[str, float] = {}  # job_id -> next recheck
+        self._owned_claims: set = set()  # job ids whose journal claim we hold
+        self._running: Dict[int, str] = {}  # launch_id -> job_id
+        self._run_timeouts: Dict[str, Optional[float]] = {}  # job_id -> next timeout
+        self._seq = 0
+
+        self._pool: Optional[WorkerPool] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._draining = False
+        self._drained = threading.Event()
+
+        # Counters (exported via stats()).
+        self.launches = 0
+        self.retries = 0
+        self.timeout_escalations = 0
+        self.dedupe_cached = 0
+        self.dedupe_active = 0
+        self.spooled = 0
+        self.spool_replayed = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "JobScheduler":
+        if self._thread is not None:
+            raise RuntimeError("scheduler already started")
+        self._pool = WorkerPool(self.workers)
+        self.replay_spool()
+        self._thread = threading.Thread(target=self._loop, name="repro-serve-scheduler",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Hard stop (tests / error paths); ``drain`` is the graceful exit."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        if self._pool is not None:
+            self._pool.shutdown()
+
+    # ------------------------------------------------------------------
+    # submission (HTTP thread)
+    # ------------------------------------------------------------------
+    def submit(self, tenant: str, priority: int, scenario: Scenario) -> SubmitOutcome:
+        cls = scenario_class(scenario)
+        if self.breaker is not None:
+            allowed, info = self.breaker.check(cls)
+            if not allowed:
+                return SubmitOutcome("breaker-open",
+                                     retry_after_s=info.get("retry_after_s", 1.0),
+                                     info=info)
+        with self._lock:
+            if self._draining:
+                return SubmitOutcome("shed", retry_after_s=5.0,
+                                     info={"reason": "draining"})
+            # Journal dedupe: a content-identical run already completed.
+            probe = self.store.create(tenant, priority, scenario)
+            if self.journal is not None:
+                cached = self.journal.lookup(RunRequest(key=probe.id, scenario=scenario))
+                if cached is not None:
+                    probe.result = result_to_dict(cached, include_scenario=False)
+                    probe.state = "done"
+                    probe.cached = True
+                    probe.finished_at = time.time()
+                    self.dedupe_cached += 1
+                    return SubmitOutcome("cached", job=probe)
+            # Active dedupe: the same content key is already queued/running.
+            active = self.store.active_for_key(probe.key)
+            if active is not None and not active.terminal:
+                probe.state = "cancelled"  # the probe record never runs
+                probe.error = f"deduplicated into {active.id}"
+                self.dedupe_active += 1
+                return SubmitOutcome("deduped", job=active)
+            # Admission gate: bounded queue depth + token-bucket arrivals.
+            if self.admission is not None:
+                ok, retry_after, reason = self.admission.admit(self._backlog_locked())
+                if not ok:
+                    probe.state = "cancelled"
+                    probe.error = f"shed: {reason}"
+                    return SubmitOutcome("shed", retry_after_s=retry_after,
+                                         info={"reason": reason})
+            self._enqueue_locked(probe)
+            return SubmitOutcome("queued", job=probe)
+
+    def cancel(self, job_id: str) -> Tuple[bool, str]:
+        """Cancel a queued job; running and terminal jobs are refused."""
+        with self._lock:
+            job = self.store.get(job_id)
+            if job is None:
+                return False, "not-found"
+            if job.state == "running":
+                return False, "running"
+            if job.terminal:
+                return False, job.state
+            job.state = "cancelled"
+            job.finished_at = time.time()
+            self._claim_waits.pop(job.id, None)
+            self.store.clear_active(job)
+            return True, "cancelled"
+
+    # ------------------------------------------------------------------
+    # queue plumbing (call with the lock held)
+    # ------------------------------------------------------------------
+    def _enqueue_locked(self, job: Job, replayed: bool = False) -> None:
+        self._seq += 1
+        queue = self._tenant_queues.setdefault(job.tenant, [])
+        if not queue and job.tenant not in self._ring:
+            self._ring.append(job.tenant)
+            self._deficit.setdefault(job.tenant, 0.0)
+        heapq.heappush(queue, (-job.priority, self._seq, job.id))
+        job.state = "queued"
+        self.store.mark_active(job)
+        if replayed:
+            self.spool_replayed += 1
+
+    def _backlog_locked(self) -> int:
+        queued = sum(len(q) for q in self._tenant_queues.values())
+        return queued + len(self._retry_heap) + len(self._claim_waits)
+
+    def _drr_next_locked(self) -> Optional[Job]:
+        """Deficit round robin over the tenant ring; one launch per call."""
+        sweeps = 0
+        while self._ring and sweeps <= 2 * len(self._ring) + 1:
+            sweeps += 1
+            self._ring_index %= len(self._ring)
+            tenant = self._ring[self._ring_index]
+            queue = self._tenant_queues.get(tenant)
+            # Drop cancelled jobs lazily.
+            while queue:
+                job = self.store.get(queue[0][2])
+                if job is None or job.state != "queued":
+                    heapq.heappop(queue)
+                    continue
+                break
+            if not queue:
+                self._ring.pop(self._ring_index)
+                self._deficit.pop(tenant, None)
+                continue
+            if self._deficit.get(tenant, 0.0) >= 1.0:
+                _, _, job_id = heapq.heappop(queue)
+                self._deficit[tenant] -= 1.0
+                if not queue:
+                    # DRR resets an emptied queue's deficit: departing work
+                    # does not bank credit for later.
+                    self._ring.pop(self._ring_index)
+                    self._deficit.pop(tenant, None)
+                return self.store.get(job_id)
+            self._deficit[tenant] = self._deficit.get(tenant, 0.0) + self.quantum
+            self._ring_index += 1
+        return None
+
+    def _retry_ready_locked(self, now: float) -> Optional[Tuple[Job, Optional[float]]]:
+        while self._retry_heap and self._retry_heap[0][0] <= now:
+            _, _, job_id, timeout_s = heapq.heappop(self._retry_heap)
+            job = self.store.get(job_id)
+            if job is not None and job.state == "queued":
+                return job, timeout_s
+        return None
+
+    # ------------------------------------------------------------------
+    # the scheduler loop
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self._tick()
+
+    def _tick(self) -> None:
+        pool = self._pool
+        with self._lock:
+            if not self._draining:
+                self._launch_ready_locked()
+            self._recheck_claims_locked()
+        for settlement in pool.poll(block_s=self.poll_interval_s):
+            with self._lock:
+                self._settle_locked(settlement)
+        self._emit_heartbeat()
+
+    def _launch_ready_locked(self) -> None:
+        pool = self._pool
+        now = time.monotonic()
+        while pool.has_slot:
+            picked = self._retry_ready_locked(now)
+            timeout_s: Optional[float]
+            if picked is not None:
+                job, timeout_s = picked
+            else:
+                job = self._drr_next_locked()
+                timeout_s = self.run_timeout_s
+                if job is None:
+                    return
+            self._launch_locked(job, timeout_s)
+
+    def _launch_locked(self, job: Job, timeout_s: Optional[float]) -> None:
+        request = RunRequest(key=job.id, scenario=job.scenario)
+        if self.journal is not None and job.id not in self._owned_claims:
+            # A replica sharing this journal may have finished (or claimed)
+            # the same content key since submission.  A claim we already
+            # hold (a retry launch) is ours to keep — re-claiming would
+            # read our own claim file as a live peer and park forever.
+            cached = self.journal.lookup(request)
+            if cached is not None:
+                job.result = result_to_dict(cached, include_scenario=False)
+                job.state = "done"
+                job.cached = True
+                job.finished_at = time.time()
+                self.dedupe_cached += 1
+                self.store.clear_active(job)
+                if self.breaker is not None:
+                    self.breaker.record_success(job.scenario_class)
+                return
+            if not self.journal.try_claim(request):
+                self._claim_waits[job.id] = time.monotonic() + _CLAIM_RECHECK_S
+                return
+            self._owned_claims.add(job.id)
+        job.state = "running"
+        job.attempt += 1
+        if job.started_at is None:
+            job.started_at = time.time()
+        launch_id = self._pool.launch(request, attempt=job.attempt, timeout_s=timeout_s)
+        job.pid = self._pool.pid_of(launch_id)
+        self._running[launch_id] = job.id
+        self._run_timeouts[job.id] = timeout_s
+        self.launches += 1
+
+    def _recheck_claims_locked(self) -> None:
+        if not self._claim_waits:
+            return
+        now = time.monotonic()
+        for job_id, ready_at in list(self._claim_waits.items()):
+            if ready_at > now:
+                continue
+            job = self.store.get(job_id)
+            if job is None or job.state != "queued":
+                self._claim_waits.pop(job_id, None)
+                continue
+            if self._pool.has_slot and not self._draining:
+                self._claim_waits.pop(job_id, None)
+                self._launch_locked(job, self.run_timeout_s)  # re-claims or re-parks
+            else:
+                self._claim_waits[job_id] = now + _CLAIM_RECHECK_S
+
+    # ------------------------------------------------------------------
+    def _settle_locked(self, settlement: Settlement) -> None:
+        job_id = self._running.pop(settlement.launch_id, None)
+        job = self.store.get(job_id) if job_id else None
+        if job is None:  # pragma: no cover - settlement for an unknown launch
+            return
+        job.pid = None
+        timeout_s = self._run_timeouts.pop(job.id, None)
+        request = RunRequest(key=job.id, scenario=job.scenario)
+        if settlement.status == "ok":
+            result = result_from_dict(settlement.payload, scenario=job.scenario)
+            if self.journal is not None:
+                self.journal.record_success(request, result, attempts=job.attempts)
+                self._owned_claims.discard(job.id)  # record_success released it
+            job.result = settlement.payload
+            job.state = "done"
+            job.finished_at = time.time()
+            self.store.clear_active(job)
+            if self.breaker is not None:
+                self.breaker.record_success(job.scenario_class)
+            return
+        reason = settlement.reason
+        job.attempts.append({"attempt": settlement.attempt, "reason": reason,
+                             "wall_s": settlement.wall, "timeout_s": settlement.timeout_s})
+        retry_allowed = (settlement.attempt <= self.max_retries
+                         and is_retryable(reason) and not self._draining)
+        if retry_allowed:
+            backoff = backoff_delay(job.id, settlement.attempt)
+            next_timeout = timeout_s
+            if next_timeout is not None:
+                next_timeout *= _TIMEOUT_ESCALATION
+                self.timeout_escalations += 1
+            job.state = "queued"
+            self.retries += 1
+            self._seq += 1
+            heapq.heappush(self._retry_heap,
+                           (time.monotonic() + backoff, self._seq, job.id, next_timeout))
+            # The journal claim (if any) stays ours across retries.
+            return
+        if self._draining and is_retryable(reason):
+            # Mid-drain transient failure: hand the job to the next
+            # incarnation instead of burning the drain window on backoff.
+            if self.journal is not None:
+                self.journal.release_claim(request)
+                self._owned_claims.discard(job.id)
+            job.state = "queued"
+            return
+        bundle = None
+        if self.journal is not None:
+            bundle = str(self.journal.record_failure(
+                request, reason, job.attempts, settlement.traceback))
+            self._owned_claims.discard(job.id)  # record_failure released it
+        job.state = "failed"
+        job.error = reason
+        job.bundle = bundle
+        job.finished_at = time.time()
+        self.store.clear_active(job)
+        if self.breaker is not None:
+            self.breaker.record_failure(job.scenario_class, reason, bundle)
+
+    # ------------------------------------------------------------------
+    # drain (SIGTERM) and spool
+    # ------------------------------------------------------------------
+    def drain(self, timeout_s: Optional[float] = None) -> dict:
+        """Graceful shutdown: finish in-flight work, spool the rest.
+
+        Stops launching, waits up to ``timeout_s`` (default
+        ``drain_timeout_s``) for running jobs to settle and journal, then
+        terminates any stragglers (their jobs are spooled for a retry on
+        restart), persists every still-queued job to ``spool.json``, and
+        joins all workers.  Returns a summary dict.
+        """
+        timeout_s = self.drain_timeout_s if timeout_s is None else timeout_s
+        with self._lock:
+            self._draining = True
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._running:
+                    break
+            time.sleep(0.02)
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        # Drain any settlements the loop missed between its last poll and
+        # the stop flag.
+        if self._pool is not None:
+            for settlement in self._pool.poll(block_s=0.2, window=True):
+                with self._lock:
+                    self._settle_locked(settlement)
+        with self._lock:
+            interrupted: List[Job] = []
+            for job_id in self._running.values():
+                job = self.store.get(job_id)
+                if job is not None:
+                    interrupted.append(job)
+            self._running.clear()
+            spooling = interrupted + self._queued_jobs_locked()
+            for job in spooling:
+                if self.journal is not None:
+                    self.journal.release_claim(RunRequest(key=job.id, scenario=job.scenario))
+                    self._owned_claims.discard(job.id)
+                job.state = "spooled"
+                job.pid = None
+            self._tenant_queues.clear()
+            self._ring.clear()
+            self._retry_heap.clear()
+            self._claim_waits.clear()
+            if self.spool_path is not None and spooling:
+                write_spool(self.spool_path, spooling)
+            self.spooled = len(spooling)
+        if self._pool is not None:
+            self._pool.shutdown()
+        self._drained.set()
+        return {"spooled": self.spooled, "jobs": self.store.counts()}
+
+    def _queued_jobs_locked(self) -> List[Job]:
+        seen = set()
+        jobs: List[Job] = []
+        for queue in self._tenant_queues.values():
+            for _, _, job_id in queue:
+                seen.add(job_id)
+        for _, _, job_id, _ in self._retry_heap:
+            seen.add(job_id)
+        seen.update(self._claim_waits.keys())
+        for job_id in sorted(seen):
+            job = self.store.get(job_id)
+            if job is not None and job.state == "queued":
+                jobs.append(job)
+        return jobs
+
+    def replay_spool(self) -> int:
+        """Re-enqueue jobs a previous incarnation spooled on drain."""
+        if self.spool_path is None:
+            return 0
+        records = read_spool(self.spool_path)
+        if not records:
+            return 0
+        with self._lock:
+            for row in records:
+                job = self.store.create(
+                    tenant=str(row.get("tenant", "default")),
+                    priority=int(row.get("priority", 0)),
+                    scenario=row["scenario"],
+                    submitted_at=row.get("submitted_at"),
+                )
+                self._enqueue_locked(job, replayed=True)
+        try:
+            self.spool_path.unlink()
+        except OSError:  # pragma: no cover - best effort
+            pass
+        return len(records)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def _emit_heartbeat(self) -> None:
+        if self.heartbeat is None:
+            return
+        counts = self.store.counts()
+        completed = sum(counts.get(state, 0) for state in ("done", "failed", "cancelled"))
+        with self._lock:
+            pending = self._backlog_locked()
+        self.heartbeat.maybe_emit(
+            completed=completed,
+            total=counts.get("total", 0),
+            running=self._pool.running_info() if self._pool else [],
+            pending=pending,
+            extra={"server": self.stats(light=True)},
+        )
+
+    def running_pids(self) -> List[int]:
+        return self._pool.pids() if self._pool is not None else []
+
+    def idle(self) -> bool:
+        with self._lock:
+            return (not self._running and self._backlog_locked() == 0)
+
+    def wait_idle(self, timeout_s: float = 30.0) -> bool:
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if self.idle():
+                return True
+            time.sleep(0.02)
+        return False
+
+    def stats(self, light: bool = False) -> dict:
+        with self._lock:
+            active = self._pool.active if self._pool is not None else 0
+            queued = self._backlog_locked()
+            tenants = {tenant: len(queue)
+                       for tenant, queue in self._tenant_queues.items() if queue}
+            out = {
+                "draining": self._draining,
+                "workers": self.workers,
+                "active": active,
+                "saturation": round(active / self.workers, 3),
+                "queued": queued,
+                "retry_wait": len(self._retry_heap),
+                "claim_wait": len(self._claim_waits),
+                "tenants": tenants,
+                "launches": self.launches,
+                "retries": self.retries,
+                "timeout_escalations": self.timeout_escalations,
+                "dedupe_cached": self.dedupe_cached,
+                "dedupe_active": self.dedupe_active,
+                "spool_replayed": self.spool_replayed,
+            }
+        if light:
+            return out
+        out["jobs"] = self.store.counts()
+        if self.admission is not None:
+            out["admission"] = self.admission.stats()
+        if self.breaker is not None:
+            out["breakers"] = self.breaker.states()
+        if self.journal is not None:
+            out["journal"] = self.journal.stats()
+        return out
+
+
+# Re-exported for the inline (multiprocessing-free) degradation path used
+# by unit tests on exotic platforms; the server itself always pools.
+def run_job_inline(scenario: Scenario) -> dict:
+    """Run one scenario in-process and return its wire-format result."""
+    return result_to_dict(run_scenario(scenario), include_scenario=False)

@@ -447,3 +447,130 @@ class TestResourceGuard:
     def test_scenario_rejects_negative_guard(self):
         with pytest.raises(ValueError, match="max pending events"):
             Scenario(max_pending_events=-1).validate()
+
+
+# ----------------------------------------------------------------------
+# execution claims (concurrent writers sharing a journal directory)
+# ----------------------------------------------------------------------
+class TestExecutionClaims:
+    def test_claim_is_exclusive_until_released(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        request = RunRequest(key="c", scenario=TINY)
+        assert journal.try_claim(request)
+        assert not journal.try_claim(request)  # held (by us, but held)
+        assert journal.claim_count() == 1
+        journal.release_claim(request)
+        assert journal.claim_count() == 0
+        assert journal.try_claim(request)
+
+    def test_release_is_idempotent(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        request = RunRequest(key="c", scenario=TINY)
+        journal.release_claim(request)  # nothing to release: no error
+        assert journal.try_claim(request)
+        journal.release_claim(request)
+        journal.release_claim(request)
+
+    def test_dead_owner_claim_is_taken_over(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        request = RunRequest(key="c", scenario=TINY)
+        # Forge a claim owned by a pid that cannot exist anymore.
+        journal.claim_path(request).write_text(
+            json.dumps({"pid": 2 ** 22 + 1, "time": time.time(), "key": "c"}))
+        assert journal.try_claim(request)  # stale: owner is dead
+
+    def test_expired_claim_is_taken_over(self, tmp_path):
+        journal = RunJournal(tmp_path, claim_ttl_s=0.01)
+        request = RunRequest(key="c", scenario=TINY)
+        journal.claim_path(request).write_text(
+            json.dumps({"pid": os.getpid(), "time": time.time() - 60, "key": "c"}))
+        assert journal.try_claim(request)  # stale: older than the TTL
+
+    def test_torn_claim_falls_back_to_mtime(self, tmp_path):
+        journal = RunJournal(tmp_path, claim_ttl_s=3600)
+        request = RunRequest(key="c", scenario=TINY)
+        journal.claim_path(request).write_text("{not json")
+        # Fresh mtime: not stale, claim denied.
+        assert not journal.try_claim(request)
+
+    def test_record_success_releases_the_claim(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        request = RunRequest(key="c", scenario=TINY)
+        assert journal.try_claim(request)
+        result = execute_runs([request], workers=1)["c"]
+        journal.record_success(request, result)
+        assert journal.claim_count() == 0
+        assert journal.lookup(request) is not None
+
+    def test_record_failure_releases_the_claim(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        request = RunRequest(key="c", scenario=RAISING)
+        assert journal.try_claim(request)
+        journal.record_failure(request, "ValueError: nope",
+                               [{"attempt": 1, "reason": "ValueError: nope"}])
+        assert journal.claim_count() == 0
+
+    def test_concurrent_resumers_execute_each_cell_exactly_once(self, tmp_path):
+        """Two resume-mode executors sharing a journal: the claim file makes
+        one execute while the other waits and resumes the journaled entry."""
+        journal_dir = tmp_path / "shared"
+        requests = [RunRequest(key="cell", scenario=TINY)]
+        telemetries = [RunTelemetry(), RunTelemetry()]
+        threads = [
+            threading.Thread(
+                target=execute_runs,
+                args=(requests,),
+                kwargs=dict(workers=1, journal=RunJournal(journal_dir),
+                            resume=True, telemetry=telemetries[i]),
+            )
+            for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        # Both completed the cell; exactly one of them actually ran it.
+        assert all(t.runs_completed == 1 for t in telemetries)
+        assert sum(t.cells_resumed for t in telemetries) == 1
+        assert RunJournal(journal_dir).claim_count() == 0
+        _assert_journal_clean(journal_dir)
+
+
+class TestBundleBounds:
+    def test_failures_dir_keeps_newest_n_per_class(self, tmp_path):
+        journal = RunJournal(tmp_path, max_bundles_per_class=2)
+        for seed in range(5):
+            request = RunRequest(key=f"r{seed}",
+                                 scenario=RAISING.with_overrides(seed=seed))
+            journal.record_failure(request, "ValueError: nope",
+                                   [{"attempt": 1, "reason": "ValueError: nope"}])
+            time.sleep(0.02)  # distinct mtimes so "newest" is well defined
+        bundles = list(journal.iter_bundles())
+        assert len(bundles) == 2
+        seeds = sorted(b["seed"] for b in bundles)
+        assert seeds == [3, 4]  # the two newest survived
+
+    def test_pruning_is_per_class(self, tmp_path):
+        journal = RunJournal(tmp_path, max_bundles_per_class=1)
+        other = RAISING.with_overrides(name="other-class")
+        for seed in range(3):
+            journal.record_failure(
+                RunRequest(key=f"a{seed}", scenario=RAISING.with_overrides(seed=seed)),
+                "ValueError: nope", [])
+            journal.record_failure(
+                RunRequest(key=f"b{seed}", scenario=other.with_overrides(seed=seed)),
+                "ValueError: nope", [])
+            time.sleep(0.02)
+        classes = [b["scenario_class"] for b in journal.iter_bundles()]
+        assert sorted(classes) == ["other-class:does-not-exist",
+                                   "raising:does-not-exist"]
+
+    def test_journal_stats_counts_everything(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        request = RunRequest(key="ok", scenario=TINY)
+        result = execute_runs([request], workers=1)["ok"]
+        journal.record_success(request, result)
+        journal.record_failure(RunRequest(key="bad", scenario=RAISING),
+                               "ValueError: nope", [])
+        journal.try_claim(RunRequest(key="held", scenario=SLOW))
+        assert journal.stats() == {"entries": 1, "failure_bundles": 1, "claims": 1}

@@ -35,9 +35,15 @@ class TestRegistryConsistency:
             p.stem
             for p in benchmarks_dir().glob("bench_*.py")
             # Substrate-health benches (engine throughput/speed gates,
-            # observability overhead gates) are not paper artifacts.
+            # observability overhead gates, job-server service levels)
+            # are not paper artifacts.
             if p.stem
-            not in {"bench_engine_throughput", "bench_engine_speed", "bench_obs_overhead"}
+            not in {
+                "bench_engine_throughput",
+                "bench_engine_speed",
+                "bench_obs_overhead",
+                "bench_server",
+            }
         }
         assert on_disk == registered, (
             f"unregistered: {sorted(on_disk - registered)}; "

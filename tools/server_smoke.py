@@ -1,0 +1,156 @@
+"""CI smoke test for ``repro serve``: dedupe, crash retry, SIGTERM drain.
+
+Drives the real server as a subprocess over real HTTP:
+
+1. submit one fig07 cell (buffer_pkts sweep point) and wait for it;
+2. submit the identical cell again — must answer 200 with the journaled
+   result (cache hit, no execution);
+3. submit a longer-running cell, SIGKILL its worker pid mid-run — the
+   scheduler must detect the crash, retry, and complete the job;
+4. SIGTERM the server — it must drain (journal in-flight work, spool the
+   queue, no orphans) and exit 0.
+
+Exits nonzero with a diagnostic on any violated expectation.
+
+Usage: PYTHONPATH=src python tools/server_smoke.py
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# The fig07 sweep's scaled operating point at one buffer size, shrunk to
+# smoke duration.  "Same cell twice" exercises the journal dedupe path.
+FIG07_CELL = {
+    "name": "fig07-smoke", "buffer_pkts": 10, "duration_s": 0.05,
+    "drain_s": 0.4, "qps": 100.0, "incast_degree": 6, "bg_enabled": False,
+}
+
+# Long enough (seconds of wall clock) that we can reliably SIGKILL the
+# worker while it is still simulating.
+SLOW_CELL = {
+    "name": "crash-smoke", "duration_s": 2.0, "drain_s": 0.5,
+    "qps": 100.0, "incast_degree": 6, "bg_enabled": False,
+}
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def request(port, method, path, body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(f"http://127.0.0.1:{port}{path}", data=data,
+                                 method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def wait_terminal(port, job_id, timeout_s=120.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        _, body = request(port, "GET", f"/jobs/{job_id}")
+        job = body["job"]
+        if job["state"] in ("done", "failed", "cancelled"):
+            return job
+        time.sleep(0.1)
+    fail(f"job {job_id} never reached a terminal state")
+
+
+def main() -> int:
+    state_dir = tempfile.mkdtemp(prefix="serve-smoke-")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--state-dir", state_dir,
+         "--port", "0", "--workers", "2", "--rate", "100", "--burst", "50",
+         "--max-retries", "3", "--drain-timeout", "60"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env, text=True)
+    try:
+        announce = json.loads(proc.stdout.readline())
+        port = announce["listening"]["port"]
+        print(f"serving on :{port}, state in {state_dir}")
+
+        # 1. fig07 cell: runs and journals.
+        status, body = request(port, "POST", "/jobs",
+                               {"tenant": "ci", "scenario": FIG07_CELL})
+        if status != 202:
+            fail(f"first submission: expected 202, got {status}: {body}")
+        first = wait_terminal(port, body["job"]["id"])
+        if first["state"] != "done" or first["cached"]:
+            fail(f"first run should execute to done, got {first}")
+        print(f"fig07 cell done: {first['result']['events']} events")
+
+        # 2. identical cell again: cache hit, no execution.
+        status, body = request(port, "POST", "/jobs",
+                               {"tenant": "ci", "scenario": FIG07_CELL})
+        if status != 200 or not body.get("cached"):
+            fail(f"second submission: expected 200 cached, got {status}: {body}")
+        if body["job"]["result"]["events"] != first["result"]["events"]:
+            fail("cached result differs from the executed one")
+        print("dedupe hit: served from journal without executing")
+
+        # 3. kill the worker mid-run: crash detected, retried, completed.
+        status, body = request(port, "POST", "/jobs",
+                               {"tenant": "ci", "scenario": SLOW_CELL})
+        if status != 202:
+            fail(f"slow submission: expected 202, got {status}: {body}")
+        slow_id = body["job"]["id"]
+        pid = None
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            _, body = request(port, "GET", f"/jobs/{slow_id}")
+            pid = body["job"]["pid"]
+            if body["job"]["state"] == "running" and pid:
+                break
+            time.sleep(0.05)
+        if not pid:
+            fail("slow job never reported a running worker pid")
+        os.kill(pid, signal.SIGKILL)
+        print(f"killed worker {pid} mid-run")
+        slow = wait_terminal(port, slow_id)
+        if slow["state"] != "done":
+            fail(f"killed job should retry to done, got {slow}")
+        if slow["attempt"] < 2 or not slow["attempts"]:
+            fail(f"killed job shows no retry: {slow}")
+        if "worker crashed" not in slow["attempts"][0]["reason"]:
+            fail(f"retry reason should record the crash: {slow['attempts']}")
+        print(f"crash retried: attempt {slow['attempt']}, "
+              f"first failure {slow['attempts'][0]['reason']!r}")
+
+        # 4. SIGTERM: graceful drain, exit 0.
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=90)
+        if proc.returncode != 0:
+            fail(f"server exited {proc.returncode} on SIGTERM; stderr:\n{err}")
+        drained = json.loads(out.strip().splitlines()[-1])["drained"]
+        print(f"SIGTERM drain clean: {drained}")
+
+        # The journal on disk is complete and readable (no torn files).
+        for path in Path(state_dir).rglob("*.json"):
+            json.loads(path.read_text())
+        if ".claim" in {p.suffix for p in Path(state_dir).iterdir()}:
+            fail("drain left execution claims behind")
+        print("server smoke ok")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate(timeout=30)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
