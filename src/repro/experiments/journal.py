@@ -189,7 +189,8 @@ class RunJournal:
         filesystem mutex — carrying the claimant's pid and wall time.
         Returns ``False`` when a *live* claim is already held elsewhere.
         A stale claim (dead owner pid on this host, or older than
-        ``claim_ttl_s``) is removed and re-contested; the loser of that
+        ``claim_ttl_s``) is taken over via compare-and-rename (see
+        :meth:`_remove_stale_claim`) and re-contested; the loser of that
         re-contest sees the winner's fresh claim and backs off.
 
         The claim is an execution-dedupe optimisation, not a correctness
@@ -205,11 +206,7 @@ class RunJournal:
             try:
                 fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
             except FileExistsError:
-                if self._claim_is_stale(path):
-                    try:
-                        path.unlink()
-                    except OSError:
-                        pass
+                if self._remove_stale_claim(path):
                     continue
                 return False
             except OSError:  # pragma: no cover - unwritable directory
@@ -218,6 +215,52 @@ class RunJournal:
                 fh.write(payload)
             return True
         return False  # pragma: no cover - perpetual stale-claim churn
+
+    def _remove_stale_claim(self, path: Path) -> bool:
+        """Remove ``path`` iff it still holds a stale claim.
+
+        Returns ``True`` when the caller should re-contest the O_EXCL
+        create, ``False`` when the claim turned out live.
+
+        A plain unlink would race: two processes judge the same claim
+        stale, the winner unlinks and writes a *fresh* claim, and the
+        loser's unlink then destroys that fresh claim — both believe they
+        own execution.  Instead the stale claim is renamed aside to a
+        unique name (atomic: exactly one contender gets the file), its
+        content is re-verified against the bytes that were judged stale,
+        and a claim that changed in between — a takeover winner's fresh
+        claim — is renamed back untouched.
+        """
+        try:
+            stale_raw = path.read_bytes()
+        except OSError:
+            return True  # vanished already: re-contest the create
+        if not self._claim_is_stale(path, stale_raw):
+            return False
+        aside = path.with_name(
+            f"{path.name}.stale.{os.getpid()}.{time.monotonic_ns()}")
+        try:
+            os.rename(path, aside)
+        except OSError:
+            return True  # another contender renamed it first: re-contest
+        try:
+            moved_raw = aside.read_bytes()
+        except OSError:  # pragma: no cover - aside file is exclusively ours
+            moved_raw = None
+        if moved_raw == stale_raw:
+            try:
+                aside.unlink()
+            except OSError:  # pragma: no cover - best effort
+                pass
+            return True
+        # The claim changed between the staleness read and the rename:
+        # we grabbed a fresh claim, not the stale one.  Restore and back
+        # off.
+        try:
+            os.rename(aside, path)
+        except OSError:  # pragma: no cover - restore is best effort
+            pass
+        return False
 
     def release_claim(self, request) -> None:
         """Drop the execution claim (idempotent; missing file is fine)."""
@@ -229,15 +272,22 @@ class RunJournal:
     def claim_count(self) -> int:
         return sum(1 for _ in self.directory.glob("*.claim"))
 
-    def _claim_is_stale(self, path: Path) -> bool:
+    def _claim_is_stale(self, path: Path, raw: Optional[bytes] = None) -> bool:
+        if raw is None:
+            try:
+                raw = path.read_bytes()
+            except OSError:
+                return False  # gone already - the create loop re-contests
         try:
-            data = json.loads(path.read_text())
-        except (OSError, ValueError):
-            # Torn or vanished: fall back to the file clock.
+            data = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            data = None
+        if not isinstance(data, dict):
+            # Torn: fall back to the file clock.
             try:
                 return (time.time() - path.stat().st_mtime) > self.claim_ttl_s
             except OSError:
-                return False  # gone already - the create loop re-contests
+                return False
         if time.time() - float(data.get("time") or 0) > self.claim_ttl_s:
             return True
         pid = data.get("pid")

@@ -149,7 +149,15 @@ class ReproServer:
             if body == b"\x00":
                 writer.write(self._response(413, {"error": "body too large"}))
             else:
-                writer.write(self._route(method, target, body))
+                # Routing takes the scheduler lock and touches the journal
+                # on disk; run it on the default executor so one slow
+                # request (or a scheduler thread holding the lock through
+                # a process spawn) never stalls the event loop — /healthz
+                # stays answerable while everything else grinds.
+                loop = asyncio.get_running_loop()
+                response = await loop.run_in_executor(
+                    None, self._route, method, target, body)
+                writer.write(response)
             await writer.drain()
         except ConnectionError:  # pragma: no cover - client vanished
             pass

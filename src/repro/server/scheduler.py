@@ -31,7 +31,7 @@ import threading
 import time
 from typing import Dict, List, Optional, Tuple
 
-from repro.experiments.journal import RunJournal, scenario_class
+from repro.experiments.journal import RunJournal, scenario_class, scenario_hash
 from repro.experiments.parallel import (
     RunRequest,
     Settlement,
@@ -161,34 +161,37 @@ class JobScheduler:
             if self._draining:
                 return SubmitOutcome("shed", retry_after_s=5.0,
                                      info={"reason": "draining"})
+            # No Job record exists until the submission is admitted (or is
+            # a cache hit the client will poll): retaining records for
+            # shed/deduped probes would let a rejected-submission flood
+            # grow the store without bound — exactly what the gate exists
+            # to prevent.
+            key = scenario_hash(scenario)
             # Journal dedupe: a content-identical run already completed.
-            probe = self.store.create(tenant, priority, scenario)
             if self.journal is not None:
-                cached = self.journal.lookup(RunRequest(key=probe.id, scenario=scenario))
+                cached = self.journal.lookup(RunRequest(key=key, scenario=scenario))
                 if cached is not None:
-                    probe.result = result_to_dict(cached, include_scenario=False)
-                    probe.state = "done"
-                    probe.cached = True
-                    probe.finished_at = time.time()
+                    job = self.store.create(tenant, priority, scenario)
+                    job.result = result_to_dict(cached, include_scenario=False)
+                    job.state = "done"
+                    job.cached = True
+                    job.finished_at = time.time()
                     self.dedupe_cached += 1
-                    return SubmitOutcome("cached", job=probe)
+                    return SubmitOutcome("cached", job=job)
             # Active dedupe: the same content key is already queued/running.
-            active = self.store.active_for_key(probe.key)
+            active = self.store.active_for_key(key)
             if active is not None and not active.terminal:
-                probe.state = "cancelled"  # the probe record never runs
-                probe.error = f"deduplicated into {active.id}"
                 self.dedupe_active += 1
                 return SubmitOutcome("deduped", job=active)
             # Admission gate: bounded queue depth + token-bucket arrivals.
             if self.admission is not None:
                 ok, retry_after, reason = self.admission.admit(self._backlog_locked())
                 if not ok:
-                    probe.state = "cancelled"
-                    probe.error = f"shed: {reason}"
                     return SubmitOutcome("shed", retry_after_s=retry_after,
                                          info={"reason": reason})
-            self._enqueue_locked(probe)
-            return SubmitOutcome("queued", job=probe)
+            job = self.store.create(tenant, priority, scenario)
+            self._enqueue_locked(job)
+            return SubmitOutcome("queued", job=job)
 
     def cancel(self, job_id: str) -> Tuple[bool, str]:
         """Cancel a queued job; running and terminal jobs are refused."""
@@ -203,6 +206,12 @@ class JobScheduler:
             job.state = "cancelled"
             job.finished_at = time.time()
             self._claim_waits.pop(job.id, None)
+            if self.journal is not None and job.id in self._owned_claims:
+                # A job cancelled out of retry backoff still holds its
+                # journal claim; drop it so resubmissions (here or on a
+                # replica) are not parked until the claim TTL.
+                self.journal.release_claim(RunRequest(key=job.id, scenario=job.scenario))
+                self._owned_claims.discard(job.id)
             self.store.clear_active(job)
             return True, "cancelled"
 
@@ -389,10 +398,13 @@ class JobScheduler:
         if self._draining and is_retryable(reason):
             # Mid-drain transient failure: hand the job to the next
             # incarnation instead of burning the drain window on backoff.
+            # Re-enqueue (launches are blocked while draining) so the job
+            # sits in a tenant queue where the drain's spool scan finds it;
+            # flipping the state alone would strand it in no collection.
             if self.journal is not None:
                 self.journal.release_claim(request)
                 self._owned_claims.discard(job.id)
-            job.state = "queued"
+            self._enqueue_locked(job)
             return
         bundle = None
         if self.journal is not None:

@@ -493,6 +493,42 @@ class TestExecutionClaims:
         # Fresh mtime: not stale, claim denied.
         assert not journal.try_claim(request)
 
+    def test_stale_takeover_leaves_no_droppings(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        request = RunRequest(key="c", scenario=TINY)
+        journal.claim_path(request).write_text(
+            json.dumps({"pid": 2 ** 22 + 1, "time": time.time(), "key": "c"}))
+        assert journal.try_claim(request)
+        # Exactly our fresh claim remains: no renamed-aside temp files.
+        assert journal.claim_count() == 1
+        assert [p.name for p in tmp_path.iterdir()] == [
+            journal.claim_path(request).name]
+
+    def test_stale_takeover_never_removes_a_racing_fresh_claim(
+            self, tmp_path, monkeypatch):
+        """Two contenders judge the same claim stale; the winner replaces
+        it with a fresh claim before the loser removes it.  The loser's
+        compare-and-rename must notice the content changed, restore the
+        fresh claim intact, and back off."""
+        journal = RunJournal(tmp_path)
+        request = RunRequest(key="c", scenario=TINY)
+        path = journal.claim_path(request)
+        path.write_text(
+            json.dumps({"pid": 2 ** 22 + 1, "time": time.time(), "key": "c"}))
+        fresh = json.dumps(
+            {"pid": os.getpid(), "time": time.time(), "key": "winner"})
+        real_rename = os.rename
+        def winner_races_in(src, dst):
+            # The takeover winner lands its fresh claim between the
+            # loser's staleness read and the loser's rename-aside.
+            if Path(src) == path:
+                path.write_text(fresh)
+            real_rename(src, dst)
+        monkeypatch.setattr(os, "rename", winner_races_in)
+        assert not journal.try_claim(request)  # loser backs off
+        assert path.read_text() == fresh  # winner's claim survived intact
+        assert journal.claim_count() == 1
+
     def test_record_success_releases_the_claim(self, tmp_path):
         journal = RunJournal(tmp_path)
         request = RunRequest(key="c", scenario=TINY)
