@@ -1,0 +1,218 @@
+"""Cross-scheme shootout: DIBS vs the modern buffer-sharing competitors.
+
+The 2014 paper could not compare detour-instead-of-drop against designs
+published after it; ROADMAP item 4 asks for exactly that table.  Three
+scenario families x six schemes x 8 seeds (2 in the default smoke mode):
+
+* **incast** — the fig. 7 operating point (partition-aggregate incast
+  over background traffic) on the scaled K=4 fat-tree,
+* **faultgrid** — the same point with two core-agg links dead from t=0
+  (the bench_fault_resilience regime: less bisection *and* less detour
+  capacity),
+* **flapstorm** — the space-DC flap storm (frequent short outages on a
+  slow, jittery leaf-spine), DIBS's pathological regime.
+
+Schemes: ``dctcp`` and ``dibs`` (the paper's headline pair), ``dibs-dba``
+(DIBS over shared memory), and the competitor pack — ``bshare``
+(delay-driven buffer sharing), ``fairq`` (switch-assisted fair rates),
+``tinybuf`` (Tiny-Buffer TCP over 8-16-pkt queues).
+
+Reported per cell: p50/p99 QCT, p99 background FCT, drops, detours, and
+Jain fairness across per-query completion rates.  Every run executes with
+periodic conservation audits armed, so a buffer-accounting bug in any
+scheme (the BShare pool is the newest suspect) fails the run instead of
+quietly skewing the table.
+
+``--check`` gates (the CI leg):
+
+* every cell produced a result — zero invariant/watchdog aborts,
+* every cell's periodic audits actually ran,
+* dibs p99 QCT <= dctcp p99 QCT on the incast family (the paper's core
+  claim must survive in the presence of the new competitors).
+"""
+
+import argparse
+import sys
+
+from repro.experiments import SCALED_DEFAULTS
+from repro.experiments.journal import RunJournal
+from repro.experiments.parallel import RunTelemetry, run_grid
+from repro.experiments.report import format_table
+from repro.experiments.scenarios import flap_storm
+from repro.faults import LINK_DOWN
+from repro.metrics.stats import jain_index, percentile
+
+import common
+
+NAME = "scheme_shootout"
+
+SCHEMES = ("dctcp", "dibs", "dibs-dba", "bshare", "fairq", "tinybuf")
+FAMILIES = ("incast", "faultgrid", "flapstorm")
+
+
+def _dead_core_links(topology, n: int) -> tuple[tuple[str, str], ...]:
+    """``n`` core-agg links on distinct agg and core switches (greedy over
+    topology order), so the fabric stays connected."""
+    used: set[str] = set()
+    picked: list[tuple[str, str]] = []
+    for link in topology.links:
+        if len(picked) == n:
+            break
+        if not (link.node_a.startswith("agg_") and link.node_b.startswith("core_")):
+            continue
+        if link.node_a in used or link.node_b in used:
+            continue
+        picked.append((link.node_a, link.node_b))
+        used.update((link.node_a, link.node_b))
+    if len(picked) < n:
+        raise ValueError(f"too few spread core links for {n} failures")
+    return tuple(picked)
+
+
+def _family_bases(full: bool) -> dict:
+    base = SCALED_DEFAULTS.with_overrides(invariant_check_interval_s=0.05)
+    incast = base.with_overrides(duration_s=0.4 if full else 0.15)
+    faults = tuple(
+        (0.0, LINK_DOWN, agg, core, 1)
+        for agg, core in _dead_core_links(base.build_topology(), 2)
+    )
+    faultgrid = incast.with_overrides(faults=faults)
+    storm = flap_storm(
+        duration_s=1.0 if full else 0.3,
+        drain_s=2.0 if full else 1.0,
+        invariant_check_interval_s=0.05,
+    )
+    return {"incast": incast, "faultgrid": faultgrid, "flapstorm": storm}
+
+
+def _run_shootout(full: bool, workers: int, journal_dir, resume: bool):
+    seeds = tuple(range(8)) if full else (0, 1)
+    bases = _family_bases(full)
+    cells = {
+        (family, scheme): bases[family].with_overrides(
+            scheme=scheme, name=f"shootout:{family}:{scheme}"
+        )
+        for family in FAMILIES
+        for scheme in SCHEMES
+    }
+    telemetry = RunTelemetry()
+    journal = RunJournal(journal_dir) if journal_dir else None
+    results = run_grid(cells, seeds=seeds, workers=workers, telemetry=telemetry,
+                       journal=journal, resume=resume)
+    return results, telemetry, seeds
+
+
+def _render(results, telemetry, seeds) -> str:
+    rows = []
+    for family in FAMILIES:
+        for scheme in SCHEMES:
+            result = results.get((family, scheme))
+            row = {"family": family, "scheme": scheme}
+            if result is None:  # permanently failed run (see telemetry)
+                row["qct_p99_ms"] = "!"
+                rows.append(row)
+                continue
+            qct = result.qct_values
+            row["qct_p50_ms"] = f"{percentile(qct, 50) * 1e3:.2f}" if qct else "-"
+            row["qct_p99_ms"] = f"{percentile(qct, 99) * 1e3:.2f}" if qct else "-"
+            bg = result.bg_fct_p99_ms
+            row["bg_p99_ms"] = f"{bg:.2f}" if bg is not None else "-"
+            row["drops"] = result.total_drops
+            row["detours"] = result.detours
+            # Fairness across queries: Jain's index over per-query
+            # completion rates (1/QCT) — 1.0 means every incast query saw
+            # the same service, a hogging scheme drives it toward 1/n.
+            row["jain"] = f"{jain_index([1.0 / q for q in qct]):.3f}" if qct else "-"
+            row["queries"] = f"{result.queries_completed}/{result.queries_started}"
+            row["audits"] = result.invariant_checks
+            rows.append(row)
+    title = (
+        "Cross-scheme shootout: DIBS vs modern buffer sharing (ROADMAP item 4).\n"
+        f"{len(FAMILIES)} families x {len(SCHEMES)} schemes x {len(seeds)} seeds; "
+        "conservation audits armed on every run.\n"
+        "Expected shape: dibs/dibs-dba and bshare absorb the incast burst\n"
+        "(low drops) while dctcp drops and tinybuf drops-but-recovers-fast;\n"
+        "on the flap storm the detour schemes pay for shrinking detour masks."
+    )
+    return format_table(rows, title=title) + "\n\n" + telemetry.summary()
+
+
+def check(results, telemetry) -> list[str]:
+    """The ``--check`` gate: returns human-readable failures (empty = pass)."""
+    problems = []
+    for failure in telemetry.failures:
+        problems.append(f"run failed permanently: {failure}")
+    for family in FAMILIES:
+        for scheme in SCHEMES:
+            result = results.get((family, scheme))
+            if result is None:
+                problems.append(f"({family}, {scheme}) produced no result")
+                continue
+            if result.invariant_checks <= 0:
+                problems.append(f"({family}, {scheme}) ran zero conservation audits")
+            # The flap storm deliberately black-holes whole RTO cycles; on
+            # the short smoke horizon even good schemes may finish no query
+            # there, so the completion gate covers the drained families.
+            if (family != "flapstorm"
+                    and result.queries_started and not result.queries_completed):
+                problems.append(f"({family}, {scheme}) completed no queries")
+    dibs = results.get(("incast", "dibs"))
+    dctcp = results.get(("incast", "dctcp"))
+    if dibs is not None and dctcp is not None:
+        if dibs.qct_p99_ms is None or dctcp.qct_p99_ms is None:
+            problems.append("incast cells produced no QCT samples")
+        elif dibs.qct_p99_ms > dctcp.qct_p99_ms:
+            problems.append(
+                f"dibs p99 QCT {dibs.qct_p99_ms:.2f} ms exceeds "
+                f"dctcp {dctcp.qct_p99_ms:.2f} ms on the incast family"
+            )
+    return problems
+
+
+def run(full: bool = False, workers: int = 1,
+        journal_dir: str | None = None, resume: bool = False) -> str:
+    results, telemetry, seeds = _run_shootout(full, workers, journal_dir, resume)
+    return _render(results, telemetry, seeds)
+
+
+def test_scheme_shootout(benchmark):
+    common.bench_entry(benchmark, NAME, lambda: run(False))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the cross-scheme shootout table"
+    )
+    parser.add_argument("--full", action="store_true",
+                        help="8 seeds and full horizons (slow; the committed table)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the grid (1 = serial)")
+    parser.add_argument("--journal-dir", default=None, dest="journal_dir", metavar="DIR",
+                        help="checkpoint completed runs into DIR")
+    parser.add_argument("--resume", action="store_true",
+                        help="skip runs already journaled in --journal-dir")
+    parser.add_argument("--check", action="store_true",
+                        help="enforce the shootout gates (no aborts, audits ran, "
+                             "dibs p99 <= dctcp p99 on incast)")
+    args = parser.parse_args()
+    results, telemetry, seeds = _run_shootout(
+        args.full, args.workers, args.journal_dir, args.resume
+    )
+    text = _render(results, telemetry, seeds)
+    common.save_table(NAME + ("-full" if args.full else ""), text)
+    print(text)
+    if args.check:
+        problems = check(results, telemetry)
+        if problems:
+            print("\n--check FAILED:", file=sys.stderr)
+            for problem in problems:
+                print(f"  * {problem}", file=sys.stderr)
+            return 1
+        print("\n--check passed: no aborts, audits ran on every cell, "
+              "dibs p99 <= dctcp p99 on incast")
+    sys.stdout.flush()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -66,7 +66,8 @@ from repro.experiments.journal import (
 from repro.experiments.parallel import RunTelemetry
 from repro.experiments.report import format_sweep, format_table
 from repro.experiments.runner import run_pooled, run_scenario
-from repro.experiments.scenarios import PAPER_DEFAULTS, SCALED_DEFAULTS, SCHEMES, Scenario
+from repro.experiments.scenarios import PAPER_DEFAULTS, SCALED_DEFAULTS, Scenario
+from repro.experiments.schemes import available_schemes, get_scheme
 from repro.experiments.sweep import sweep as run_sweep
 
 __all__ = ["main", "build_parser"]
@@ -229,7 +230,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--scheme", default="dibs", choices=SCHEMES)
+    # Choices come from the live registry, so schemes registered by a
+    # plugin/conftest before parser construction are accepted too.
+    parser.add_argument("--scheme", default="dibs", choices=available_schemes())
     parser.add_argument("--paper-defaults", action="store_true",
                         help="start from the paper's K=8 Table 1/2 point instead of the scaled one")
     for field, cast in _NUMERIC_FIELDS.items():
@@ -425,13 +428,19 @@ def _cmd_run(args: argparse.Namespace) -> tuple[str, int]:
 
 def _cmd_sweep(args: argparse.Namespace) -> tuple[str, int]:
     scenario = _scenario_from_args(args)
+    schemes = tuple(s.strip() for s in args.schemes.split(","))
+    try:
+        for scheme in schemes:
+            get_scheme(scheme)  # typos fail here, not halfway into the grid
+    except ValueError as exc:
+        return f"error: {exc}", 1
     telemetry = RunTelemetry()
     journal = _journal_from_args(args)
     results = run_sweep(
         scenario,
         args.param,
         _parse_values(args.values),
-        schemes=tuple(s.strip() for s in args.schemes.split(",")),
+        schemes=schemes,
         seeds=_parse_seeds(args.seeds),
         workers=args.workers,
         run_timeout_s=args.run_timeout,
@@ -619,7 +628,15 @@ def _cmd_jobs(args: argparse.Namespace) -> tuple[str, int]:
 
 
 def _cmd_schemes() -> str:
-    rows = [{"scheme": s} for s in SCHEMES]
+    rows = []
+    for name in available_schemes():
+        spec = get_scheme(name)
+        rows.append({
+            "scheme": name,
+            "queues": spec.discipline,
+            "dibs": "on" if spec.dibs_enabled else "off",
+            "description": spec.description,
+        })
     defaults = [
         {"parameter": k, "paper": getattr(PAPER_DEFAULTS, k), "scaled": getattr(SCALED_DEFAULTS, k)}
         for k in ("k", "buffer_pkts", "ecn_threshold_pkts", "qps", "incast_degree",

@@ -26,11 +26,21 @@ from repro.experiments.runner import (
     run_scenario,
 )
 from repro.experiments.scenarios import PAPER_DEFAULTS, SCALED_DEFAULTS, SCHEMES, Scenario
+from repro.experiments.schemes import (
+    SchemeSpec,
+    available_schemes,
+    get_scheme,
+    register_scheme,
+)
 from repro.experiments.sweep import PAPER_RANGES, SCALED_RANGES, compare_schemes, sweep
 
 __all__ = [
     "Scenario",
     "SCHEMES",
+    "SchemeSpec",
+    "register_scheme",
+    "get_scheme",
+    "available_schemes",
     "PAPER_DEFAULTS",
     "SCALED_DEFAULTS",
     "ExperimentResult",

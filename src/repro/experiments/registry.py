@@ -88,6 +88,10 @@ ARTIFACTS: tuple[Artifact, ...] = (
     Artifact("robustness (control)", "a closed-loop controller fails DIBS soft under hostile regimes: breaker trips and re-arms, controlled <= static p99 in the flap storm",
              "bench_controller_resilience",
              ("repro.control", "repro.workload.background", "repro.net.link")),
+    Artifact("competitors (shootout)", "DIBS vs post-2014 buffer sharing: detouring still wins incast; shared-memory schemes absorb it; tinybuf trades drops for recovery speed",
+             "bench_scheme_shootout",
+             ("repro.experiments.schemes", "repro.net.queues",
+              "repro.transport.fairq", "repro.transport.tinybuf")),
 )
 
 

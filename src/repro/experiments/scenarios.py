@@ -3,8 +3,9 @@
 A :class:`Scenario` bundles every knob of Table 1/Table 2 — topology,
 switch queueing, scheme (which combination of queue discipline, DIBS, and
 host transport), workload intensities — and knows how to instantiate the
-network and host transport configs.  The scheme names used throughout the
-benches:
+network and host transport configs.  Scheme dispatch goes through the
+:mod:`repro.experiments.schemes` registry (``repro schemes`` lists every
+registered name with its description); the built-ins:
 
 ===============  ============================  =====  =========================
 scheme           switch queues                 DIBS   host transport
@@ -20,6 +21,9 @@ scheme           switch queues                 DIBS   host transport
 ``dibs-dba``     shared-memory DBA + ECN       on     DCTCP, fast rtx off
 ``dctcp-pfc``    ECN FIFO + Ethernet PAUSE     off    DCTCP (§6 comparison)
 ``dctcp-spray``  ECN FIFO, packet-level ECMP   off    DCTCP, dup-ACK thr 10
+``bshare``       delay-driven shared buffer    off    DCTCP (BShare)
+``fairq``        ECN FIFO + fair-share stamps  off    DCTCP, paced (FairQ)
+``tinybuf``      8–16-pkt static ECN FIFO      off    DCTCP, paced slow start
 ===============  ============================  =====  =========================
 
 Table 1 defaults are the dataclass defaults (1 Gbps, 100-pkt buffers,
@@ -32,8 +36,12 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Union
 
 from repro.core.config import DibsConfig
-from repro.core.detour import make_policy
 from repro.net.network import Network, SwitchQueueConfig
+from repro.experiments.schemes import (
+    SCHEME_DEFAULT_DUPACK,
+    available_schemes,
+    get_scheme,
+)
 from repro.sim.engine import make_scheduler
 from repro.topo import click_testbed, fat_tree, jellyfish, leaf_spine, linear
 from repro.transport.base import TcpConfig
@@ -49,21 +57,13 @@ __all__ = [
     "flap_storm",
 ]
 
-SCHEMES = (
-    "dctcp",
-    "dibs",
-    "dctcp-inf",
-    "tcp",
-    "tcp-inf",
-    "tcp-dibs",
-    "pfabric",
-    "dctcp-dba",
-    "dibs-dba",
-    "dctcp-pfc",
-    "dctcp-spray",
-)
+# Snapshot of the built-in registry at import time, in registration order
+# (legacy eleven first).  The live source of truth is the registry:
+# schemes registered later are equally usable by name everywhere — this
+# tuple exists for parametrized tests and Table 1/2 documentation.
+SCHEMES = available_schemes()
 
-_UNSET = "scheme-default"
+_UNSET = SCHEME_DEFAULT_DUPACK  # legacy alias for the dupack sentinel
 
 
 @dataclass(frozen=True)
@@ -168,8 +168,7 @@ class Scenario:
         return replace(self, **kwargs)
 
     def validate(self) -> None:
-        if self.scheme not in SCHEMES:
-            raise ValueError(f"unknown scheme {self.scheme!r}; known: {SCHEMES}")
+        get_scheme(self.scheme)  # raises ValueError listing registered names
         if self.duration_s <= 0 or self.drain_s < 0:
             raise ValueError("duration must be positive, drain non-negative")
         if self.link_flap_rate < 0 or self.corrupt_rate < 0:
@@ -231,72 +230,14 @@ class Scenario:
         raise ValueError(f"unknown topology {self.topology!r}")
 
     def switch_queue_config(self) -> SwitchQueueConfig:
-        scheme = self.scheme
-        if scheme in ("dctcp", "dibs", "dctcp-pfc", "dctcp-spray"):
-            discipline = "ecn"
-        elif scheme == "dctcp-inf":
-            discipline = "infinite"
-        elif scheme == "tcp":
-            discipline = "droptail"
-        elif scheme == "tcp-inf":
-            discipline = "infinite"
-        elif scheme == "tcp-dibs":
-            discipline = "droptail"
-        elif scheme == "pfabric":
-            discipline = "pfabric"
-        elif scheme in ("dctcp-dba", "dibs-dba"):
-            discipline = "dba"
-        else:  # pragma: no cover - guarded by validate()
-            raise AssertionError(scheme)
-        return SwitchQueueConfig(
-            discipline=discipline,
-            buffer_pkts=self.buffer_pkts,
-            ecn_threshold_pkts=self.ecn_threshold_pkts,
-            pfabric_queue_pkts=self.pfabric_queue_pkts,
-            dba_total_bytes=self.dba_total_bytes,
-            infinite_with_ecn=(scheme == "dctcp-inf"),
-            pfc=(scheme == "dctcp-pfc"),
-            ecmp_mode="packet" if scheme == "dctcp-spray" else "flow",
-        )
+        return get_scheme(self.scheme).switch_queue_config(self)
 
     def dibs_config(self) -> DibsConfig:
-        if self.scheme in ("dibs", "tcp-dibs", "dibs-dba"):
-            return DibsConfig(enabled=True, policy=make_policy(self.detour_policy))
-        return DibsConfig.disabled()
+        return get_scheme(self.scheme).dibs_config(self)
 
     def transport_config(self) -> Union[TcpConfig, PFabricConfig]:
         """The host transport matching the scheme, with scenario overrides."""
-        scheme = self.scheme
-        if scheme == "pfabric":
-            return PFabricConfig(
-                window_pkts=self.pfabric_window_pkts,
-                rto=self.pfabric_rto_s,
-                ttl=self.ttl,
-            )
-        dibs_hosts = scheme in ("dibs", "tcp-dibs", "dibs-dba")
-        dctcp = scheme in (
-            "dctcp", "dibs", "dctcp-inf", "dctcp-dba", "dibs-dba",
-            "dctcp-pfc", "dctcp-spray",
-        )
-        if self.dupack_threshold == _UNSET:
-            if dibs_hosts:
-                threshold: Optional[int] = None
-            elif scheme == "dctcp-spray":
-                # Packet spraying reorders constantly; a sane deployment
-                # raises the dup-ACK threshold (cf. §4's suggestion).
-                threshold = 10
-            else:
-                threshold = 3
-        else:
-            threshold = self.dupack_threshold  # type: ignore[assignment]
-        return TcpConfig(
-            dctcp=dctcp,
-            ecn=dctcp,
-            fast_retransmit_threshold=threshold,
-            min_rto=self.min_rto_s,
-            init_cwnd_pkts=self.init_cwnd_pkts,
-            ttl=self.ttl,
-        )
+        return get_scheme(self.scheme).transport_config(self)
 
     def build_network(self, trace_paths: bool = False) -> Network:
         self.validate()

@@ -1,0 +1,318 @@
+"""The scheme registry: pluggable (queue discipline, DIBS, transport) bundles.
+
+A *scheme* is everything Table 1 calls a "configuration": which queue
+discipline the switches run, whether DIBS detouring is on, how ECMP
+spreads load, whether PFC is enabled, and which host transport the flows
+use.  Historically each of those decisions was an ``if scheme == ...``
+chain inside :class:`~repro.experiments.scenarios.Scenario`; the registry
+replaces the chains with one frozen :class:`SchemeSpec` per name, so a new
+competitor scheme is a single ``register_scheme()`` call — no edits to the
+scenario, sweep, CLI, or bench layers.
+
+Built-in registrations cover the eleven legacy names (byte-identical
+``SwitchQueueConfig``/``TcpConfig`` outputs, so run-journal content keys
+are unchanged) plus the ROADMAP item 4 competitor pack:
+
+* ``bshare`` — shared buffer allocated from measured queueing delay
+  (:class:`~repro.net.queues.BShareQueue`) instead of the DT alpha rule,
+* ``fairq`` — switch-assisted fair rates: ports stamp a per-flow fair
+  share in-band (:class:`~repro.net.queues.FairQQueue`) and
+  :class:`~repro.transport.fairq.FairQSender` paces to the echoed signal,
+* ``tinybuf`` — Tiny-Buffer TCP: paced slow start and an aggressive RTO
+  (:class:`~repro.transport.tinybuf.TinyBufferSender`) over shallow 8–16
+  packet static buffers.
+
+Scheme-specific knobs (the BShare delay target, the tinybuf buffer cap)
+are *derived* inside the spec factories from existing scenario fields —
+never new ``Scenario`` fields — because the scenario's canonical JSON is
+the journal content key and must stay stable for legacy runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional, Union
+
+from repro.core.config import DibsConfig
+from repro.core.detour import make_policy
+from repro.net.network import SwitchQueueConfig
+from repro.net.packet import MTU_BYTES
+from repro.transport.base import TcpConfig
+from repro.transport.fairq import FairQConfig
+from repro.transport.pfabric import PFabricConfig
+from repro.transport.tinybuf import TinyBufferConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.scenarios import Scenario
+
+__all__ = [
+    "SchemeSpec",
+    "register_scheme",
+    "get_scheme",
+    "available_schemes",
+    "SCHEME_DEFAULT_DUPACK",
+]
+
+# Sentinel for Scenario.dupack_threshold: "use the scheme's own default".
+# A string (not an object()) so the frozen Scenario stays JSON-serializable.
+SCHEME_DEFAULT_DUPACK = "scheme-default"
+
+TransportConfig = Union[TcpConfig, PFabricConfig]
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """One registered scheme: queue discipline + DIBS + host transport.
+
+    ``queue_kwargs`` and ``transport`` are factories taking the
+    :class:`~repro.experiments.scenarios.Scenario`, so a spec can derive
+    scheme-specific knobs from the scenario's existing fields (buffer
+    sizes, link rate, minRTO) without adding scenario fields — adding one
+    would silently re-key every journalled run.
+    """
+
+    name: str
+    description: str
+    # Switch side: SwitchQueueConfig discipline plus per-scheme extras.
+    discipline: str = "ecn"
+    dibs_enabled: bool = False
+    ecmp_mode: str = "flow"
+    pfc: bool = False
+    # Extra SwitchQueueConfig fields derived from the scenario (e.g. the
+    # BShare delay target, tinybuf's shallow-buffer override); merged over
+    # the generic Table 1 mapping below.  None = no extras.
+    queue_kwargs: Optional[Callable[["Scenario"], dict]] = None
+    # Host side: the full transport config factory.
+    transport: Optional[Callable[["Scenario"], TransportConfig]] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scheme name must be non-empty")
+        if self.transport is None:
+            raise ValueError(f"scheme {self.name!r} needs a transport factory")
+
+    # -- the three questions Scenario asks of its scheme -----------------
+    def switch_queue_config(self, scenario: "Scenario") -> SwitchQueueConfig:
+        kwargs = dict(
+            discipline=self.discipline,
+            buffer_pkts=scenario.buffer_pkts,
+            ecn_threshold_pkts=scenario.ecn_threshold_pkts,
+            pfabric_queue_pkts=scenario.pfabric_queue_pkts,
+            dba_total_bytes=scenario.dba_total_bytes,
+            infinite_with_ecn=False,
+            pfc=self.pfc,
+            ecmp_mode=self.ecmp_mode,
+        )
+        if self.queue_kwargs is not None:
+            kwargs.update(self.queue_kwargs(scenario))
+        return SwitchQueueConfig(**kwargs)
+
+    def transport_config(self, scenario: "Scenario") -> TransportConfig:
+        return self.transport(scenario)
+
+    def dibs_config(self, scenario: "Scenario") -> DibsConfig:
+        if self.dibs_enabled:
+            return DibsConfig(enabled=True, policy=make_policy(scenario.detour_policy))
+        return DibsConfig.disabled()
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+_REGISTRY: dict[str, SchemeSpec] = {}
+
+
+def register_scheme(spec: SchemeSpec, replace: bool = False) -> SchemeSpec:
+    """Register ``spec`` under ``spec.name``; returns the spec.
+
+    Registration order is listing order (``available_schemes()``).
+    Re-registering an existing name raises unless ``replace=True`` — a
+    silent overwrite of, say, ``"dibs"`` would quietly change what every
+    bench measures.
+    """
+    if spec.name in _REGISTRY and not replace:
+        raise ValueError(
+            f"scheme {spec.name!r} is already registered (pass replace=True to override)"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_scheme(name: str) -> SchemeSpec:
+    """The registered spec for ``name``; unknown names list what exists."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {name!r}; registered: {available_schemes()}"
+        ) from None
+
+
+def available_schemes() -> tuple[str, ...]:
+    """All registered scheme names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# transport factories
+# ---------------------------------------------------------------------------
+def _resolve_dupack(scenario: "Scenario", scheme_default) -> Union[int, None]:
+    if scenario.dupack_threshold == SCHEME_DEFAULT_DUPACK:
+        return scheme_default
+    return scenario.dupack_threshold  # explicit int or None override
+
+
+def _tcp_transport(dctcp: bool, dupack_default) -> Callable[["Scenario"], TcpConfig]:
+    """Factory for the classic TCP/DCTCP host stacks (Table 1 knobs)."""
+
+    def factory(scenario: "Scenario") -> TcpConfig:
+        return TcpConfig(
+            dctcp=dctcp,
+            ecn=dctcp,
+            fast_retransmit_threshold=_resolve_dupack(scenario, dupack_default),
+            min_rto=scenario.min_rto_s,
+            init_cwnd_pkts=scenario.init_cwnd_pkts,
+            ttl=scenario.ttl,
+        )
+
+    return factory
+
+
+def _pfabric_transport(scenario: "Scenario") -> PFabricConfig:
+    return PFabricConfig(
+        window_pkts=scenario.pfabric_window_pkts,
+        rto=scenario.pfabric_rto_s,
+        ttl=scenario.ttl,
+    )
+
+
+def _fairq_transport(scenario: "Scenario") -> FairQConfig:
+    return FairQConfig(
+        dctcp=True,
+        ecn=True,
+        fast_retransmit_threshold=_resolve_dupack(scenario, 3),
+        min_rto=scenario.min_rto_s,
+        init_cwnd_pkts=scenario.init_cwnd_pkts,
+        ttl=scenario.ttl,
+        # Never pace below 1/64 of the line rate: a stale tiny signal must
+        # not strand a flow, and the floor recovers it within one RTT.
+        min_rate_bps=scenario.link_rate_bps / 64.0,
+    )
+
+
+def _tinybuf_transport(scenario: "Scenario") -> TinyBufferConfig:
+    # Aggressive RTO, scaled to the fabric: 2 ms on the terrestrial
+    # defaults (vs Table 1's 10 ms), but never below ~20 propagation
+    # delays so slow/long fabrics (the space-DC point) don't live in
+    # permanent spurious-timeout territory.
+    aggressive_rto = max(0.002, 20.0 * scenario.link_delay_s)
+    return TinyBufferConfig(
+        dctcp=True,
+        ecn=True,
+        fast_retransmit_threshold=_resolve_dupack(scenario, 3),
+        min_rto=min(scenario.min_rto_s, aggressive_rto),
+        init_cwnd_pkts=scenario.init_cwnd_pkts,
+        ttl=scenario.ttl,
+        # Pacing rate before the first RTT sample: spread the initial
+        # window over a base-RTT estimate (8 propagation hops on the
+        # fat-tree round trip, floored for near-zero-delay test links).
+        initial_rtt_s=max(100e-6, 8.0 * scenario.link_delay_s),
+    )
+
+
+# ---------------------------------------------------------------------------
+# switch-side extras
+# ---------------------------------------------------------------------------
+def _infinite_ecn_kwargs(scenario: "Scenario") -> dict:
+    return {"infinite_with_ecn": True}
+
+
+def _bshare_kwargs(scenario: "Scenario") -> dict:
+    # Delay target: the time a standing queue of 2*K full MTUs takes to
+    # drain at line rate — the sojourn BShare considers "healthy" for a
+    # port whose ECN threshold is K.  Derived, not a Scenario field, so
+    # legacy journal keys stay valid.
+    target = 2.0 * scenario.ecn_threshold_pkts * MTU_BYTES * 8.0 / scenario.link_rate_bps
+    return {"bshare_target_delay_s": target}
+
+
+def _tinybuf_kwargs(scenario: "Scenario") -> dict:
+    # Tiny static buffers: at most 16 packets per port, ECN threshold at
+    # most 8 — the regime where paced senders are supposed to survive.
+    return {
+        "buffer_pkts": min(scenario.buffer_pkts, 16),
+        "ecn_threshold_pkts": min(scenario.ecn_threshold_pkts, 8),
+    }
+
+
+# ---------------------------------------------------------------------------
+# built-in schemes (legacy eleven first, in the historical SCHEMES order,
+# so the derived tuple and every parametrized test keep their ordering)
+# ---------------------------------------------------------------------------
+register_scheme(SchemeSpec(
+    "dctcp", "ECN FIFO (K) switches, DCTCP hosts, fast retransmit on",
+    discipline="ecn", transport=_tcp_transport(dctcp=True, dupack_default=3),
+))
+register_scheme(SchemeSpec(
+    "dibs", "ECN FIFO + DIBS detouring, DCTCP hosts, fast retransmit off (§4)",
+    discipline="ecn", dibs_enabled=True,
+    transport=_tcp_transport(dctcp=True, dupack_default=None),
+))
+register_scheme(SchemeSpec(
+    "dctcp-inf", "infinite FIFO + ECN (Fig. 6/7 baseline), DCTCP hosts",
+    discipline="infinite", queue_kwargs=_infinite_ecn_kwargs,
+    transport=_tcp_transport(dctcp=True, dupack_default=3),
+))
+register_scheme(SchemeSpec(
+    "tcp", "droptail FIFO switches, NewReno hosts",
+    discipline="droptail", transport=_tcp_transport(dctcp=False, dupack_default=3),
+))
+register_scheme(SchemeSpec(
+    "tcp-inf", "infinite FIFO switches, NewReno hosts",
+    discipline="infinite", transport=_tcp_transport(dctcp=False, dupack_default=3),
+))
+register_scheme(SchemeSpec(
+    "tcp-dibs", "droptail FIFO + DIBS detouring, NewReno hosts, fast rtx off",
+    discipline="droptail", dibs_enabled=True,
+    transport=_tcp_transport(dctcp=False, dupack_default=None),
+))
+register_scheme(SchemeSpec(
+    "pfabric", "24-pkt priority queues, pFabric minimal TCP (§5.8)",
+    discipline="pfabric", transport=_pfabric_transport,
+))
+register_scheme(SchemeSpec(
+    "dctcp-dba", "shared-memory DBA pool + ECN, DCTCP hosts (§5.5.2)",
+    discipline="dba", transport=_tcp_transport(dctcp=True, dupack_default=3),
+))
+register_scheme(SchemeSpec(
+    "dibs-dba", "shared-memory DBA + ECN + DIBS, DCTCP hosts, fast rtx off",
+    discipline="dba", dibs_enabled=True,
+    transport=_tcp_transport(dctcp=True, dupack_default=None),
+))
+register_scheme(SchemeSpec(
+    "dctcp-pfc", "ECN FIFO + Ethernet PAUSE (§6 comparison), DCTCP hosts",
+    discipline="ecn", pfc=True, transport=_tcp_transport(dctcp=True, dupack_default=3),
+))
+register_scheme(SchemeSpec(
+    "dctcp-spray", "ECN FIFO, packet-level ECMP spraying (§6), dup-ACK thr 10",
+    discipline="ecn", ecmp_mode="packet",
+    # Packet spraying reorders constantly; a sane deployment raises the
+    # dup-ACK threshold (cf. §4's suggestion).
+    transport=_tcp_transport(dctcp=True, dupack_default=10),
+))
+
+# --- competitor pack (ROADMAP item 4) --------------------------------------
+register_scheme(SchemeSpec(
+    "bshare", "delay-driven shared-buffer sharing (BShare), DCTCP hosts",
+    discipline="bshare", queue_kwargs=_bshare_kwargs,
+    transport=_tcp_transport(dctcp=True, dupack_default=3),
+))
+register_scheme(SchemeSpec(
+    "fairq", "switch-assisted fair rates (FairQ): in-band share signal, paced hosts",
+    discipline="fairq", transport=_fairq_transport,
+))
+register_scheme(SchemeSpec(
+    "tinybuf", "Tiny-Buffer TCP: paced slow start + aggressive RTO over 8-16 pkt buffers",
+    discipline="ecn", queue_kwargs=_tinybuf_kwargs,
+    transport=_tinybuf_transport,
+))

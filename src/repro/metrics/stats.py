@@ -67,10 +67,15 @@ def jain_index(values: Sequence[float]) -> float:
         raise ValueError("fairness of empty allocation")
     if any(v < 0 for v in values):
         raise ValueError("allocations must be non-negative")
-    total = sum(values)
-    squares = sum(v * v for v in values)
-    if squares == 0:
+    peak = max(values)
+    if peak == 0:
         return 1.0  # everyone got exactly nothing: perfectly fair
+    # Normalize by the peak so squaring cannot under/overflow: subnormal
+    # squares would otherwise lose enough precision to push the index
+    # outside [1/n, 1].
+    scaled = [v / peak for v in values]
+    total = sum(scaled)
+    squares = sum(v * v for v in scaled)
     return (total * total) / (len(values) * squares)
 
 

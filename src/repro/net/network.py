@@ -25,9 +25,11 @@ from repro.net.link import Port, connect
 from repro.net.packet import Packet
 from repro.net.queues import (
     INFINITE_CAPACITY,
+    BShareQueue,
     DropTailQueue,
     DynamicBufferQueue,
     EcnQueue,
+    FairQQueue,
     PFabricQueue,
     SharedBufferPool,
 )
@@ -37,8 +39,10 @@ from repro.sim.engine import Scheduler, make_scheduler
 from repro.sim.rng import RngFactory
 from repro.topo.base import Topology
 from repro.transport.base import FlowHandle, TcpConfig, dctcp_config, dibs_host_config
+from repro.transport.fairq import FairQConfig, FairQReceiver, FairQSender
 from repro.transport.pfabric import PFabricConfig, PFabricReceiver, PFabricSender
 from repro.transport.tcp import TcpReceiver, TcpSender
+from repro.transport.tinybuf import TinyBufferConfig, TinyBufferSender
 
 __all__ = ["SwitchQueueConfig", "Network"]
 
@@ -47,6 +51,8 @@ _TRANSPORT_ALIASES = {
     "dctcp": dctcp_config,
     "dibs": dibs_host_config,
     "pfabric": lambda: PFabricConfig(),
+    "fairq": lambda: FairQConfig(dctcp=True, ecn=True),
+    "tinybuf": lambda: TinyBufferConfig(dctcp=True, ecn=True),
 }
 
 
@@ -80,7 +86,11 @@ class SwitchQueueConfig:
       combined with ECN marking via ``infinite_with_ecn``,
     * ``"pfabric"`` — 24-packet priority queue (§5.8),
     * ``"dba"`` — per-switch shared memory with dynamic buffer allocation,
-      modelled on the Arista 7050QX: 1.7 MB shared across ports (§5.5.2).
+      modelled on the Arista 7050QX: 1.7 MB shared across ports (§5.5.2),
+    * ``"bshare"`` — the same shared memory allocated from measured packet
+      sojourn delay instead of the DT alpha rule (BShare, ROADMAP item 4),
+    * ``"fairq"`` — ECN FIFO that also stamps a per-flow fair share into
+      passing packets from its active-flow estimate (FairQ).
     """
 
     discipline: str = "ecn"
@@ -90,6 +100,14 @@ class SwitchQueueConfig:
     dba_total_bytes: int = 1_700_000
     dba_alpha: float = 1.0
     dba_ecn: bool = True
+    # BShare (discipline "bshare"): target per-packet sojourn delay and
+    # the EWMA gain of the delay estimator; the pool size and ECN flag are
+    # shared with the DBA fields above.
+    bshare_target_delay_s: float = 500e-6
+    bshare_delay_gain: float = 0.125
+    # FairQ (discipline "fairq"): epoch length, in full-MTU serialization
+    # times, of the active-flow estimate behind the signalled share.
+    fairq_epoch_pkts: int = 64
     infinite_with_ecn: bool = True
     host_nic_queue_pkts: int = INFINITE_CAPACITY
     # Ethernet flow control (§6 comparison): hop-by-hop PAUSE when a queue
@@ -106,7 +124,7 @@ class SwitchQueueConfig:
     cioq_ingress_pkts: int = 16
 
     def __post_init__(self) -> None:
-        known = {"ecn", "droptail", "infinite", "pfabric", "dba"}
+        known = {"ecn", "droptail", "infinite", "pfabric", "dba", "bshare", "fairq"}
         if self.discipline not in known:
             raise ValueError(f"unknown discipline {self.discipline!r}; known: {sorted(known)}")
         if self.ecmp_mode not in ("flow", "packet"):
@@ -215,7 +233,16 @@ class Network:
             self.switches.append(switch)
             node_id += 1
 
-    def _make_switch_queue(self, switch_name: str):
+    def _shared_pool(self, switch_name: str) -> SharedBufferPool:
+        """The per-switch shared memory pool (dba/bshare), memoized."""
+        cfg = self.switch_queues
+        pool = self._dba_pools.get(switch_name)
+        if pool is None:
+            pool = SharedBufferPool(cfg.dba_total_bytes, alpha=cfg.dba_alpha)
+            self._dba_pools[switch_name] = pool
+        return pool
+
+    def _make_switch_queue(self, switch_name: str, rate_bps: float):
         cfg = self.switch_queues
         if cfg.discipline == "ecn":
             return EcnQueue(cfg.buffer_pkts, cfg.ecn_threshold_pkts)
@@ -227,13 +254,25 @@ class Network:
             return DropTailQueue(INFINITE_CAPACITY)
         if cfg.discipline == "pfabric":
             return PFabricQueue(cfg.pfabric_queue_pkts)
+        threshold = cfg.ecn_threshold_pkts if cfg.dba_ecn else None
         if cfg.discipline == "dba":
-            pool = self._dba_pools.get(switch_name)
-            if pool is None:
-                pool = SharedBufferPool(cfg.dba_total_bytes, alpha=cfg.dba_alpha)
-                self._dba_pools[switch_name] = pool
-            threshold = cfg.ecn_threshold_pkts if cfg.dba_ecn else None
-            return DynamicBufferQueue(pool, mark_threshold_pkts=threshold)
+            return DynamicBufferQueue(self._shared_pool(switch_name), mark_threshold_pkts=threshold)
+        if cfg.discipline == "bshare":
+            return BShareQueue(
+                self._shared_pool(switch_name),
+                self.scheduler,
+                cfg.bshare_target_delay_s,
+                mark_threshold_pkts=threshold,
+                delay_gain=cfg.bshare_delay_gain,
+            )
+        if cfg.discipline == "fairq":
+            return FairQQueue(
+                cfg.buffer_pkts,
+                cfg.ecn_threshold_pkts,
+                rate_bps,
+                self.scheduler,
+                epoch_pkts=cfg.fairq_epoch_pkts,
+            )
         raise AssertionError(f"unhandled discipline {cfg.discipline}")
 
     def _build_links(self) -> None:
@@ -244,7 +283,7 @@ class Network:
                 if isinstance(node, Host):
                     queue = DropTailQueue(self.switch_queues.host_nic_queue_pkts)
                 else:
-                    queue = self._make_switch_queue(end)
+                    queue = self._make_switch_queue(end, link.rate_bps)
                 port = Port(node, queue, link.rate_bps, link.delay_s)
                 self._port_index[(end, self._other(link, end))] = port.index
                 ports.append(port)
@@ -403,7 +442,8 @@ class Network:
 
         ``transport`` may be one of the aliases ``"tcp"``, ``"dctcp"``,
         ``"dibs"`` (DCTCP with fast retransmit disabled, the paper's DIBS
-        host setting), ``"pfabric"``, or an explicit config object.
+        host setting), ``"pfabric"``, ``"fairq"``, ``"tinybuf"``, or an
+        explicit config object.
         """
         if size <= 0:
             raise ValueError("flow size must be positive")
@@ -422,6 +462,12 @@ class Network:
         if isinstance(config, PFabricConfig):
             PFabricReceiver(dst_host, flow, config)
             sender = PFabricSender(src_host, flow, config)
+        elif isinstance(config, FairQConfig):
+            FairQReceiver(dst_host, flow, config)
+            sender = FairQSender(src_host, flow, config)
+        elif isinstance(config, TinyBufferConfig):
+            TcpReceiver(dst_host, flow, config)
+            sender = TinyBufferSender(src_host, flow, config)
         else:
             TcpReceiver(dst_host, flow, config)
             sender = TcpSender(src_host, flow, config)

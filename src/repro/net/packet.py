@@ -95,6 +95,7 @@ class Packet:
         "is_retransmit",
         "sent_at",
         "sack",
+        "rate_signal",
     )
 
     def __init__(
@@ -137,6 +138,11 @@ class Packet:
         # SACK blocks on an ACK: up to 3 (start, end) byte ranges the
         # receiver holds beyond the cumulative ack point.
         self.sack: Optional[tuple[tuple[int, int], ...]] = None
+        # Switch-assisted explicit rate (FairQ): each FairQ hop writes the
+        # min of the existing signal and its own per-port fair share; the
+        # receiver echoes the value on ACKs and the sender paces to it.
+        # None everywhere else — legacy schemes never touch the field.
+        self.rate_signal: Optional[float] = None
 
     @property
     def is_data(self) -> bool:

@@ -14,6 +14,14 @@ Four disciplines cover everything the paper evaluates:
   :class:`SharedBufferPool`, modelling Dynamic Buffer Allocation on shared
   memory switches such as the Arista 7050QX (§5.5.2).
 
+Two competitor disciplines from the related work (ROADMAP item 4) share
+the same interface:
+
+* :class:`BShareQueue` — shared-buffer allocation driven by measured
+  packet queueing delay instead of the DT alpha threshold (BShare),
+* :class:`FairQQueue` — ECN FIFO that additionally computes a per-port
+  fair rate from active-flow counts and signals it in-band (FairQ).
+
 All queues expose the same interface used by ports and switches:
 ``enqueue(pkt) -> bool``, ``dequeue() -> Packet | None``, ``is_full()``,
 ``__len__``, ``byte_count``, ``capacity_hint``.
@@ -24,7 +32,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Optional
 
-from repro.net.packet import MTU_BYTES, Packet
+from repro.net.packet import DATA, MTU_BYTES, Packet
 
 __all__ = [
     "DropTailQueue",
@@ -32,6 +40,8 @@ __all__ = [
     "PFabricQueue",
     "SharedBufferPool",
     "DynamicBufferQueue",
+    "BShareQueue",
+    "FairQQueue",
     "INFINITE_CAPACITY",
 ]
 
@@ -347,3 +357,184 @@ class DynamicBufferQueue:
             self.pool.release(self.byte_count)
         self._q.clear()
         self.byte_count = 0
+
+
+class BShareQueue(DynamicBufferQueue):
+    """Shared-buffer port queue allocated from measured queueing delay.
+
+    BShare (PAPERS.md: "Packet Queueing Delay-Driven Buffer Sharing")
+    replaces the DT-style dynamic threshold ``alpha * free_bytes`` with an
+    admission limit scaled by how the port's *measured* packet sojourn time
+    compares to a target delay: a port whose packets currently wait longer
+    than ``target_delay_s`` sees its share of the free pool shrink
+    proportionally (``limit *= target/ewma``), so slow-draining ports stop
+    hoarding shared memory long before they fill it, while fast ports keep
+    the full dynamic threshold.  The sojourn estimate is an EWMA of
+    per-packet queueing delay sampled at dequeue.
+
+    The pool accounting contract is exactly the parent's: every admitted
+    packet takes its bytes from the pool once (``enqueue``), and releases
+    them exactly once — at ``dequeue`` or, for packets discarded wholesale,
+    at ``clear()``.  The timestamp deque shadows ``_q`` 1:1.
+    """
+
+    __slots__ = ("scheduler", "target_delay_s", "delay_gain", "delay_ewma_s", "_tq")
+
+    def __init__(
+        self,
+        pool: SharedBufferPool,
+        scheduler,
+        target_delay_s: float,
+        mark_threshold_pkts: Optional[int] = None,
+        delay_gain: float = 0.125,
+    ) -> None:
+        super().__init__(pool, mark_threshold_pkts=mark_threshold_pkts)
+        if target_delay_s <= 0:
+            raise ValueError("BShare target delay must be positive")
+        if not 0.0 < delay_gain <= 1.0:
+            raise ValueError("BShare delay gain must be in (0, 1]")
+        self.scheduler = scheduler
+        self.target_delay_s = target_delay_s
+        self.delay_gain = delay_gain
+        self.delay_ewma_s = 0.0
+        self._tq: deque[float] = deque()  # enqueue timestamps, parallel to _q
+
+    def _admits(self, pkt_size: int) -> bool:
+        pool = self.pool
+        if len(self._q) < pool.reserved_pkts_per_port:
+            return pool.free_bytes >= pkt_size
+        free = pool.free_bytes
+        if free < pkt_size:
+            return False
+        limit = pool.alpha * free
+        ewma = self.delay_ewma_s
+        if ewma > self.target_delay_s:
+            limit *= self.target_delay_s / ewma
+        return self.byte_count + pkt_size <= limit
+
+    def is_full(self) -> bool:
+        return not self._admits(MTU_BYTES)
+
+    def enqueue(self, pkt: Packet) -> bool:
+        if not self._admits(pkt.size):
+            self.drops += 1
+            return False
+        if (
+            self.mark_threshold_pkts is not None
+            and pkt.ecn_capable
+            and len(self._q) + 1 > self.mark_threshold_pkts
+        ):
+            pkt.ecn_ce = True
+            self.marks += 1
+            if pkt.span is not None:
+                pkt.span.hops[-1]["ecn"] = True
+        self._q.append(pkt)
+        self._tq.append(self.scheduler.now)
+        self.byte_count += pkt.size
+        self.pool.take(pkt.size)
+        self.enqueues += 1
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        pkt = super().dequeue()
+        if pkt is not None:
+            sojourn = self.scheduler.now - self._tq.popleft()
+            self.delay_ewma_s += self.delay_gain * (sojourn - self.delay_ewma_s)
+        return pkt
+
+    def clear(self) -> None:
+        """Discard queued packets; the parent releases the pool bytes
+        exactly once, and the timestamp shadow must drop with the packets
+        (stale timestamps would corrupt every later sojourn sample)."""
+        super().clear()
+        self._tq.clear()
+
+    def counter_dict(self) -> dict[str, int]:
+        counters = super().counter_dict()
+        # Gauge, in microseconds so the counter stays an integer.
+        counters["bshare_delay_ewma_us"] = int(self.delay_ewma_s * 1e6)
+        return counters
+
+
+class FairQQueue(EcnQueue):
+    """ECN FIFO that also computes and signals a per-port fair rate.
+
+    FairQ (PAPERS.md: "fair and fast rate allocation") makes the switch an
+    active participant: each port estimates its count of active flows from
+    the distinct DATA flow ids seen during the current and previous
+    measurement epochs (an epoch is the time to serialize ``epoch_pkts``
+    full MTUs), divides the line rate evenly, and writes the resulting
+    share into ``pkt.rate_signal`` — keeping the minimum across hops, so a
+    flow learns the fair share of its bottleneck port.  Receivers echo the
+    signal on ACKs and :class:`~repro.transport.fairq.FairQSender` paces to
+    it.  ECN marking is inherited unchanged as the safety net.
+
+    Subclassing :class:`EcnQueue` deliberately keeps this queue off the
+    port's elided-tx fast path (``Port._fast_q`` matches exact types only),
+    so every packet passes through ``enqueue`` and gets stamped.
+    """
+
+    __slots__ = (
+        "scheduler",
+        "rate_bps",
+        "epoch_s",
+        "_epoch_start",
+        "_cur_flows",
+        "_prev_flows",
+        "rate_stamps",
+    )
+
+    def __init__(
+        self,
+        capacity_pkts: int,
+        mark_threshold_pkts: int,
+        rate_bps: float,
+        scheduler,
+        epoch_pkts: int = 64,
+    ) -> None:
+        super().__init__(capacity_pkts, mark_threshold_pkts)
+        if rate_bps <= 0:
+            raise ValueError("FairQ port rate must be positive")
+        if epoch_pkts <= 0:
+            raise ValueError("FairQ epoch must be positive")
+        self.scheduler = scheduler
+        self.rate_bps = rate_bps
+        self.epoch_s = epoch_pkts * MTU_BYTES * 8.0 / rate_bps
+        self._epoch_start = 0.0
+        self._cur_flows: set[int] = set()
+        self._prev_flows: frozenset[int] = frozenset()
+        self.rate_stamps = 0
+
+    def active_flows(self) -> int:
+        """Flows seen this epoch or the last (never reported below 1)."""
+        return max(1, len(self._cur_flows | self._prev_flows))
+
+    def _note_flow(self, flow_id: int) -> None:
+        elapsed = self.scheduler.now - self._epoch_start
+        if elapsed >= self.epoch_s:
+            # Rotate: the finished epoch becomes history; after a full
+            # silent epoch the history is dropped too, so departed flows
+            # stop depressing the share within two epochs.
+            self._prev_flows = (
+                frozenset() if elapsed >= 2.0 * self.epoch_s else frozenset(self._cur_flows)
+            )
+            self._cur_flows = set()
+            self._epoch_start = self.scheduler.now
+        self._cur_flows.add(flow_id)
+
+    def enqueue(self, pkt: Packet) -> bool:
+        if pkt.kind == DATA:
+            self._note_flow(pkt.flow_id)
+            share = self.rate_bps / self.active_flows()
+            signal = pkt.rate_signal
+            if signal is None or share < signal:
+                pkt.rate_signal = share
+                self.rate_stamps += 1
+        return super().enqueue(pkt)
+
+    def counter_dict(self) -> dict[str, int]:
+        counters = super().counter_dict()
+        counters["fairq_rate_stamps"] = self.rate_stamps
+        # Gauge: the live flow-count estimate behind the signalled share.
+        counters["fairq_active_flows"] = self.active_flows()
+        return counters

@@ -1,9 +1,12 @@
-"""Transport protocols: TCP/NewReno, DCTCP, and pFabric."""
+"""Transport protocols: TCP/NewReno, DCTCP, pFabric, FairQ, Tiny-Buffer."""
 
 from repro.transport.base import FlowHandle, TcpConfig, dctcp_config, dibs_host_config
+from repro.transport.fairq import FairQConfig, FairQReceiver, FairQSender
 from repro.transport.mptcp import MptcpConfig, MptcpFlow, start_mptcp_flow
+from repro.transport.pacing import PacedSender
 from repro.transport.pfabric import PFabricConfig, PFabricReceiver, PFabricSender
 from repro.transport.tcp import TcpReceiver, TcpSender
+from repro.transport.tinybuf import TinyBufferConfig, TinyBufferSender
 
 __all__ = [
     "FlowHandle",
@@ -12,6 +15,12 @@ __all__ = [
     "dibs_host_config",
     "TcpSender",
     "TcpReceiver",
+    "PacedSender",
+    "FairQConfig",
+    "FairQSender",
+    "FairQReceiver",
+    "TinyBufferConfig",
+    "TinyBufferSender",
     "PFabricConfig",
     "PFabricSender",
     "PFabricReceiver",

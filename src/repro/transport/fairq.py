@@ -1,0 +1,86 @@
+"""FairQ host endpoints: pace to the switch-signalled fair rate.
+
+FairQ makes the fabric an active participant in rate allocation: every
+:class:`~repro.net.queues.FairQQueue` port divides its line rate by its
+active-flow estimate and stamps the result into ``pkt.rate_signal``,
+keeping the minimum across hops, so a DATA packet arrives carrying the
+fair share of its bottleneck port.  The receiver echoes the freshest
+signal on each ACK (the ``rate_signal`` field is unused on ACKs by the
+switches, so the echo rides for free) and the sender paces new data to
+it.  DCTCP's ECN control loop stays on underneath as the safety net —
+FairQ bounds the *rate*, ECN still bounds the *queue*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.packet import ACK, DATA, Packet
+from repro.transport.base import TcpConfig
+from repro.transport.pacing import PacedSender
+from repro.transport.tcp import TcpReceiver
+
+__all__ = ["FairQConfig", "FairQSender", "FairQReceiver"]
+
+
+@dataclass(frozen=True)
+class FairQConfig(TcpConfig):
+    """TCP knobs plus the FairQ pacing floor.
+
+    ``min_rate_bps`` bounds the paced rate from below: a stale or tiny
+    signal (e.g. from a transient flow-count spike) must not strand the
+    flow, and probing at the floor refreshes the signal within one RTT.
+    """
+
+    min_rate_bps: float = 1e6
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.min_rate_bps <= 0:
+            raise ValueError("FairQ pacing floor must be positive")
+
+
+class FairQSender(PacedSender):
+    """Paces new data to the most recent echoed fair-share signal.
+
+    Until the first signalled ACK arrives the sender is unpaced — the
+    initial window probes like plain DCTCP, and the very first ACKs carry
+    the bottleneck share to lock onto.
+    """
+
+    __slots__ = ("pace_rate_bps",)
+
+    def __init__(self, host, flow, config: FairQConfig) -> None:
+        super().__init__(host, flow, config)
+        self.pace_rate_bps: Optional[float] = None
+
+    def on_ack(self, pkt: Packet) -> None:
+        if pkt.kind == ACK and pkt.rate_signal is not None:
+            floor = self.config.min_rate_bps
+            signal = pkt.rate_signal
+            self.pace_rate_bps = signal if signal > floor else floor
+        super().on_ack(pkt)
+
+    def _pacing_rate_bps(self) -> Optional[float]:
+        return self.pace_rate_bps
+
+
+class FairQReceiver(TcpReceiver):
+    """Cumulative-ACK receiver that echoes the in-band fair-share signal."""
+
+    __slots__ = ("rate_signal",)
+
+    def __init__(self, host, flow, config: FairQConfig, ack_priority=None) -> None:
+        super().__init__(host, flow, config, ack_priority=ack_priority)
+        self.rate_signal: Optional[float] = None
+
+    def on_data(self, pkt: Packet) -> None:
+        if pkt.kind == DATA and pkt.rate_signal is not None:
+            # Freshest bottleneck share wins: the stamp already carries the
+            # min across this packet's path, and flow counts move fast.
+            self.rate_signal = pkt.rate_signal
+        super().on_data(pkt)
+
+    def _annotate_ack(self, ack: Packet) -> None:
+        ack.rate_signal = self.rate_signal

@@ -494,8 +494,13 @@ class TcpReceiver:
         ack.ece = echo_ce and self.config.ecn_capable
         if self.config.sack and self._ooo:
             ack.sack = self._sack_blocks()
+        self._annotate_ack(ack)
         self.flow.acks_sent += 1
         self.host.send(ack)
+
+    def _annotate_ack(self, ack: Packet) -> None:
+        """Hook for subclasses to stamp extra fields on an outgoing ACK
+        (FairQ echoes the in-band fair-share signal here)."""
 
     def _sack_blocks(self) -> tuple[tuple[int, int], ...]:
         """Up to 3 coalesced out-of-order blocks above rcv_next."""

@@ -1,0 +1,58 @@
+"""Tiny-Buffer TCP: paced slow start + aggressive RTO for shallow buffers.
+
+The tiny-buffer line of work (Appenzeller et al.'s ``O(C*RTT/sqrt(n))``
+sizing and its successors) argues that core buffers can shrink to a
+handful of packets *if* senders stop dumping whole windows back-to-back.
+This transport is that host-side discipline, paired by the ``tinybuf``
+scheme with 8–16-packet static ECN queues:
+
+* **paced slow start** — while below ``ssthresh`` the sender spreads its
+  window over one (s)RTT instead of bursting, so a doubling window raises
+  the *rate* smoothly rather than slamming 2x cwnd into a 16-packet queue;
+* **aggressive RTO** — with shallow buffers, drops are cheap and frequent
+  by design; a minRTO of a couple of milliseconds (scheme-scaled to the
+  fabric's propagation delay) recovers them without the Table 1 10 ms
+  stall that makes incast collapse so expensive.
+
+Once the window exceeds ``ssthresh`` pacing turns off: in congestion
+avoidance the ACK clock already spaces transmissions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.transport.base import TcpConfig
+from repro.transport.pacing import PacedSender
+
+__all__ = ["TinyBufferConfig", "TinyBufferSender"]
+
+
+@dataclass(frozen=True)
+class TinyBufferConfig(TcpConfig):
+    """TCP knobs plus the pre-sample pacing RTT.
+
+    ``initial_rtt_s`` sets the slow-start pacing rate before the first
+    RTT measurement exists (the first window has nothing to pace against
+    otherwise); after one ACK the live SRTT takes over.
+    """
+
+    initial_rtt_s: float = 200e-6
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.initial_rtt_s <= 0:
+            raise ValueError("initial RTT estimate must be positive")
+
+
+class TinyBufferSender(PacedSender):
+    """Slow-start-paced sender for shallow static buffers."""
+
+    __slots__ = ()
+
+    def _pacing_rate_bps(self) -> Optional[float]:
+        if self.cwnd >= self.ssthresh:
+            return None  # congestion avoidance: the ACK clock paces
+        rtt = self.srtt if self.srtt is not None else self.config.initial_rtt_s
+        return self.cwnd * 8.0 / rtt

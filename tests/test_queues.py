@@ -284,3 +284,176 @@ class TestDynamicBufferQueue:
         assert pool.used_bytes == held_by_b
         assert len(a) == 0 and a.byte_count == 0
         assert len(b) == 1
+
+
+class FakeClock:
+    """Minimal scheduler stand-in: the queues only read ``.now``."""
+
+    def __init__(self):
+        self.now = 0.0
+
+
+class TestBShareQueue:
+    def _queue(self, pool=None, target=1e-3, gain=1.0, clock=None):
+        from repro.net.queues import BShareQueue
+
+        pool = pool or SharedBufferPool(
+            100 * MTU_BYTES, alpha=1.0, reserved_pkts_per_port=0
+        )
+        clock = clock or FakeClock()
+        return BShareQueue(pool, clock, target, delay_gain=gain), pool, clock
+
+    def test_validates_parameters(self):
+        from repro.net.queues import BShareQueue
+
+        pool = SharedBufferPool(10 * MTU_BYTES)
+        with pytest.raises(ValueError):
+            BShareQueue(pool, FakeClock(), 0.0)
+        with pytest.raises(ValueError):
+            BShareQueue(pool, FakeClock(), 1e-3, delay_gain=0.0)
+        with pytest.raises(ValueError):
+            BShareQueue(pool, FakeClock(), 1e-3, delay_gain=1.5)
+
+    def test_sojourn_ewma_tracks_measured_delay(self):
+        q, _, clock = self._queue(gain=1.0)
+        q.enqueue(make_pkt())
+        clock.now = 5e-3
+        q.dequeue()
+        assert q.delay_ewma_s == pytest.approx(5e-3)
+
+    def test_high_delay_shrinks_admission(self):
+        # Healthy port: DT limit (alpha * free) admits a second packet.
+        pool = SharedBufferPool(4 * MTU_BYTES, alpha=1.0, reserved_pkts_per_port=1)
+        q, _, clock = self._queue(pool=pool, target=1e-3, gain=1.0)
+        q.enqueue(make_pkt())
+        assert q._admits(MTU_BYTES)
+        # Same occupancy, but the measured sojourn is 10x the target: the
+        # limit scales by target/ewma and the same packet is now refused.
+        q.enqueue(make_pkt())
+        clock.now = 10e-3
+        q.dequeue()
+        assert q.delay_ewma_s > q.target_delay_s
+        assert not q._admits(MTU_BYTES)
+        assert q.is_full()
+
+    def test_reserved_packets_admitted_even_when_slow(self):
+        pool = SharedBufferPool(10 * MTU_BYTES, alpha=1.0, reserved_pkts_per_port=2)
+        q, _, _ = self._queue(pool=pool)
+        q.delay_ewma_s = 1.0  # catastrophically slow port
+        assert q.enqueue(make_pkt())  # below the reserved floor
+        assert q.enqueue(make_pkt())
+
+    def test_timestamp_shadow_stays_parallel(self):
+        q, _, _ = self._queue()
+        for i in range(4):
+            q.enqueue(make_pkt(seq=i))
+        q.dequeue()
+        assert len(q._tq) == len(q._q) == 3
+        q.clear()
+        assert len(q._tq) == len(q._q) == 0
+
+    def test_clear_releases_pool_exactly_once(self):
+        pool = SharedBufferPool(10 * MTU_BYTES, alpha=1.0, reserved_pkts_per_port=0)
+        q, _, _ = self._queue(pool=pool)
+        other = DynamicBufferQueue(pool)
+        other.enqueue(make_pkt())
+        for i in range(3):
+            q.enqueue(make_pkt(seq=i))
+        q.clear()
+        assert pool.used_bytes == other.byte_count
+        # A second clear must not release again (pool would go negative).
+        q.clear()
+        assert pool.used_bytes == other.byte_count
+
+    def test_marks_ecn_above_threshold(self):
+        from repro.net.queues import BShareQueue
+
+        pool = SharedBufferPool(100 * MTU_BYTES)
+        q = BShareQueue(pool, FakeClock(), 1e-3, mark_threshold_pkts=1)
+        a, b = make_pkt(ecn=True), make_pkt(ecn=True)
+        q.enqueue(a)
+        q.enqueue(b)
+        assert not a.ecn_ce and b.ecn_ce
+
+
+class TestFairQQueue:
+    def _queue(self, rate_bps=1e9, epoch_pkts=64, clock=None):
+        from repro.net.queues import FairQQueue
+
+        clock = clock or FakeClock()
+        return FairQQueue(100, 20, rate_bps, clock, epoch_pkts=epoch_pkts), clock
+
+    def test_validates_parameters(self):
+        from repro.net.queues import FairQQueue
+
+        with pytest.raises(ValueError):
+            FairQQueue(100, 20, 0.0, FakeClock())
+        with pytest.raises(ValueError):
+            FairQQueue(100, 20, 1e9, FakeClock(), epoch_pkts=0)
+
+    def test_stamps_fair_share_on_data(self):
+        q, _ = self._queue(rate_bps=1e9)
+        pkt = make_pkt(flow=1)
+        q.enqueue(pkt)
+        assert pkt.rate_signal == pytest.approx(1e9)  # sole active flow
+        assert q.rate_stamps == 1
+
+    def test_share_divides_by_active_flows(self):
+        q, _ = self._queue(rate_bps=1e9)
+        for flow in (1, 2, 3, 4):
+            q.enqueue(make_pkt(flow=flow))
+        pkt = make_pkt(flow=1)
+        q.enqueue(pkt)
+        assert q.active_flows() == 4
+        assert pkt.rate_signal == pytest.approx(1e9 / 4)
+
+    def test_keeps_minimum_across_hops(self):
+        fast, _ = self._queue(rate_bps=1e9)
+        slow, _ = self._queue(rate_bps=1e8)
+        pkt = make_pkt(flow=1)
+        fast.enqueue(pkt)
+        assert fast.dequeue() is pkt
+        slow.enqueue(pkt)
+        assert pkt.rate_signal == pytest.approx(1e8)  # bottleneck hop wins
+        # Reverse order: a later, faster hop must NOT raise the signal.
+        assert slow.dequeue() is pkt
+        pkt2 = make_pkt(flow=2, seq=1)
+        slow.enqueue(pkt2)
+        assert slow.dequeue() is pkt2
+        low = pkt2.rate_signal
+        fast.enqueue(pkt2)
+        assert pkt2.rate_signal == low
+
+    def test_acks_not_stamped_or_counted(self):
+        q, _ = self._queue()
+        ack = Packet(flow_id=1, src=1, dst=0, kind=ACK, seq=0, payload=0)
+        q.enqueue(ack)
+        assert ack.rate_signal is None
+        assert q.active_flows() == 1  # floor, no flow actually observed
+        assert q.rate_stamps == 0
+
+    def test_epoch_rotation_forgets_departed_flows(self):
+        q, clock = self._queue(rate_bps=1e9, epoch_pkts=1)
+        q.enqueue(make_pkt(flow=1))
+        q.enqueue(make_pkt(flow=2))
+        assert q.active_flows() == 2
+        # One epoch later only flow 1 is still sending: flow 2 survives in
+        # the history epoch...
+        clock.now = q.epoch_s
+        q.enqueue(make_pkt(flow=1, seq=1))
+        assert q.active_flows() == 2
+        # ...but after 2+ silent epochs the history is dropped entirely.
+        clock.now = 4 * q.epoch_s
+        pkt = make_pkt(flow=1, seq=2)
+        q.enqueue(pkt)
+        assert q.active_flows() == 1
+        assert pkt.rate_signal == pytest.approx(1e9)
+
+    def test_still_drops_at_capacity(self):
+        from repro.net.queues import FairQQueue
+
+        q = FairQQueue(2, 1, 1e9, FakeClock())
+        assert q.enqueue(make_pkt(seq=0))
+        assert q.enqueue(make_pkt(seq=1))
+        assert not q.enqueue(make_pkt(seq=2))
+        assert q.drops == 1
